@@ -1,0 +1,211 @@
+#include "bench_util.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace dmt
+{
+namespace bench
+{
+
+namespace
+{
+
+std::uint64_t
+envU64(const char *name, std::uint64_t fallback)
+{
+    const char *value = std::getenv(name);
+    if (!value)
+        return fallback;
+    return std::strtoull(value, nullptr, 10);
+}
+
+} // namespace
+
+SimConfig
+simConfigFromEnv(bool record_steps)
+{
+    SimConfig cfg;
+    cfg.measureAccesses = envU64("DMT_BENCH_ACCESSES", 1'000'000);
+    cfg.warmupAccesses = envU64("DMT_BENCH_WARMUP", 200'000);
+    cfg.recordSteps = record_steps;
+    return cfg;
+}
+
+double
+scaleFromEnv()
+{
+    return 1.0 / static_cast<double>(envU64("DMT_BENCH_SCALE", 16));
+}
+
+TestbedConfig
+testbedConfig(bool thp)
+{
+    const ThpMode mode = thp ? ThpMode::Always : ThpMode::Never;
+    if (std::getenv("DMT_BENCH_FULL_MACHINE")) {
+        TestbedConfig cfg;
+        cfg.thp = mode;
+        return cfg;
+    }
+    // Preserve structure reach relative to the scaled working set.
+    return scaledTestbedConfig(scaleFromEnv(), mode);
+}
+
+Outcome
+runNative(Workload &workload, Design design, bool thp,
+          std::uint64_t seed)
+{
+    NativeTestbed tb(workload.footprintBytes(), testbedConfig(thp));
+    if (design == Design::Dmt || design == Design::PvDmt)
+        tb.attachDmt();
+    workload.setup(tb.proc());
+    auto &mech = tb.build(design);
+    auto trace = workload.trace(seed);
+    TranslationSimulator sim(mech, tb.tlbs(), tb.caches());
+    Outcome out;
+    out.sim = sim.run(*trace, simConfigFromEnv());
+    out.design = mech.name();
+    if (tb.dmtFetcher())
+        out.coverage = tb.dmtFetcher()->stats().coverage();
+    return out;
+}
+
+Outcome
+runVirt(Workload &workload, Design design, bool thp,
+        std::uint64_t seed, bool record_steps)
+{
+    VirtTestbed tb(workload.footprintBytes(), testbedConfig(thp));
+    if (design == Design::Dmt || design == Design::PvDmt)
+        tb.attachDmt(design == Design::PvDmt);
+    workload.setup(tb.proc());
+    auto &mech = tb.build(design);
+    auto trace = workload.trace(seed);
+    TranslationSimulator sim(mech, tb.tlbs(), tb.caches());
+    Outcome out;
+    out.sim = sim.run(*trace, simConfigFromEnv(record_steps));
+    out.design = mech.name();
+    if (tb.dmtFetcher())
+        out.coverage = tb.dmtFetcher()->stats().coverage();
+    if (tb.shadowPager())
+        out.shadowExits = tb.shadowPager()->exits();
+    if (tb.hypercall()) {
+        out.hypercalls = tb.hypercall()->hypercalls();
+        out.hypercallCycles = tb.hypercall()->simulatedCost();
+    }
+    return out;
+}
+
+Outcome
+runNested(Workload &workload, Design design, bool thp,
+          std::uint64_t seed)
+{
+    NestedTestbed tb(workload.footprintBytes(), testbedConfig(thp));
+    if (design == Design::PvDmt)
+        tb.attachPvDmt();
+    workload.setup(tb.proc());
+    auto &mech = tb.build(design);
+    auto trace = workload.trace(seed);
+    TranslationSimulator sim(mech, tb.tlbs(), tb.caches());
+    Outcome out;
+    out.sim = sim.run(*trace, simConfigFromEnv());
+    out.design = mech.name();
+    if (tb.dmtFetcher())
+        out.coverage = tb.dmtFetcher()->stats().coverage();
+    if (tb.shadowPager())
+        out.shadowExits = tb.shadowPager()->exits();
+    if (tb.l2Hypercall()) {
+        out.hypercalls = tb.l2Hypercall()->hypercalls();
+        out.hypercallCycles = tb.l2Hypercall()->simulatedCost();
+    }
+    return out;
+}
+
+Table::Table(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    rows_.push_back(std::move(row));
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+void
+Table::print() const
+{
+    std::vector<std::size_t> widths(header_.size(), 0);
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size() && c < widths.size();
+             ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+    auto printRow = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            std::printf("%-*s  ", static_cast<int>(widths[c]),
+                        row[c].c_str());
+        }
+        std::printf("\n");
+    };
+    printRow(header_);
+    std::size_t total = 0;
+    for (auto w : widths)
+        total += w + 2;
+    for (std::size_t i = 0; i < total; ++i)
+        std::printf("-");
+    std::printf("\n");
+    for (const auto &row : rows_)
+        printRow(row);
+}
+
+void
+printConfigBanner(const std::string &experiment)
+{
+    const SimConfig sim = simConfigFromEnv();
+    const TestbedConfig cfg = testbedConfig(false);
+    std::printf("=====================================================\n");
+    std::printf("%s\n", experiment.c_str());
+    std::printf("Simulated machine: Xeon Gold 6138 class (paper "
+                "Tables 2/3), capacities scaled with the working "
+                "set\n");
+    std::printf("  L1D TLB %de/%dw, STLB %de/%dw, PWC %d-%d-%d "
+                "(1 cyc)\n",
+                cfg.l1dTlb.entries, cfg.l1dTlb.associativity,
+                cfg.stlb.entries, cfg.stlb.associativity,
+                cfg.pwc.entriesForL3Table, cfg.pwc.entriesForL2Table,
+                cfg.pwc.entriesForL1Table);
+    std::printf("  L1D %lluK/%dw 4cyc, L2 %lluK/%dw 14cyc, LLC "
+                "%lluK/%dw 54cyc, DRAM 200cyc\n",
+                static_cast<unsigned long long>(
+                    cfg.hierarchy.l1d.sizeBytes / 1024),
+                cfg.hierarchy.l1d.associativity,
+                static_cast<unsigned long long>(
+                    cfg.hierarchy.l2.sizeBytes / 1024),
+                cfg.hierarchy.l2.associativity,
+                static_cast<unsigned long long>(
+                    cfg.hierarchy.llc.sizeBytes / 1024),
+                cfg.hierarchy.llc.associativity);
+    std::printf("  Working-set scale 1/%.0f of the paper; "
+                "%llu+%llu accesses per cell\n",
+                1.0 / scaleFromEnv(),
+                static_cast<unsigned long long>(sim.warmupAccesses),
+                static_cast<unsigned long long>(sim.measureAccesses));
+    std::printf("=====================================================\n");
+}
+
+} // namespace bench
+} // namespace dmt

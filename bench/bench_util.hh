@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Shared harness code for the per-figure/table benchmark binaries.
+ *
+ * Every binary in bench/ regenerates one table or figure of the
+ * paper: it builds fresh testbeds per (workload, design, page-size)
+ * cell, runs the trace-driven simulation, applies the §5 execution
+ * model, and prints the same rows/series the paper reports.
+ *
+ * Environment knobs (all optional):
+ *   DMT_BENCH_ACCESSES  measured accesses per cell (default 1000000)
+ *   DMT_BENCH_WARMUP    warmup accesses (default 200000)
+ *   DMT_BENCH_SCALE     working-set scale denominator (default 16,
+ *                       i.e. 1/16 of the paper's footprints)
+ */
+
+#ifndef DMT_BENCH_BENCH_UTIL_HH
+#define DMT_BENCH_BENCH_UTIL_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/exec_model.hh"
+#include "sim/testbed.hh"
+#include "sim/translation_sim.hh"
+#include "workloads/workloads.hh"
+
+namespace dmt
+{
+namespace bench
+{
+
+/** Outcome of one simulated cell. */
+struct Outcome
+{
+    SimResult sim;
+    double coverage = 1.0;     //!< DMT register coverage (if any)
+    Counter shadowExits = 0;   //!< shadow pager sync count (if any)
+    Counter hypercalls = 0;
+    Cycles hypercallCycles = 0;
+    std::string design;
+};
+
+/** Simulation sizing from the environment. */
+SimConfig simConfigFromEnv(bool record_steps = false);
+
+/** Working-set scale from the environment. */
+double scaleFromEnv();
+
+/**
+ * Base testbed config for a page mode. Unless DMT_BENCH_FULL_MACHINE
+ * is set, TLB/PWC/cache capacities are scaled by the working-set
+ * scale so their reach relative to the working set matches the
+ * paper's full-size runs.
+ */
+TestbedConfig testbedConfig(bool thp);
+
+/** Run one native cell. */
+Outcome runNative(Workload &workload, Design design, bool thp,
+                  std::uint64_t seed = 42);
+
+/** Run one single-level virtualization cell. */
+Outcome runVirt(Workload &workload, Design design, bool thp,
+                std::uint64_t seed = 42, bool record_steps = false);
+
+/** Run one nested-virtualization cell. */
+Outcome runNested(Workload &workload, Design design, bool thp,
+                  std::uint64_t seed = 42);
+
+/** Pretty-print a table: header + rows of fixed-width columns. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    void addRow(std::vector<std::string> row);
+    void print() const;
+
+    /** Format a double with the given precision. */
+    static std::string num(double v, int precision = 2);
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Print the standard configuration banner (Tables 2 & 3). */
+void printConfigBanner(const std::string &experiment);
+
+} // namespace bench
+} // namespace dmt
+
+#endif // DMT_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * dmtsim — the command-line driver: run any (workload, design,
+ * environment, page mode) cell and print the full report.
+ *
+ *   dmtsim [--workload NAME] [--design NAME] [--env native|virt|
+ *          nested] [--thp] [--scale N] [--accesses N] [--warmup N]
+ *          [--seed N] [--record-trace FILE | --trace FILE]
+ *
+ * Examples:
+ *   dmtsim --workload Redis --design pvdmt --env virt
+ *   dmtsim --workload GUPS --design vanilla --env nested --thp
+ *   dmtsim --workload BTree --record-trace btree.trc
+ *   dmtsim --trace btree.trc --design dmt
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/log.hh"
+#include "sim/exec_model.hh"
+#include "sim/testbed.hh"
+#include "sim/translation_sim.hh"
+#include "workloads/trace_file.hh"
+#include "workloads/workloads.hh"
+
+using namespace dmt;
+
+namespace
+{
+
+struct Options
+{
+    std::string workload = "GUPS";
+    std::string design = "vanilla";
+    std::string env = "native";
+    bool thp = false;
+    double scale = 1.0 / 16.0;
+    std::uint64_t accesses = 1'000'000;
+    std::uint64_t warmup = 200'000;
+    std::uint64_t seed = 42;
+    std::string recordTrace;
+    std::string traceFile;
+};
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [--workload Redis|Memcached|GUPS|BTree|Canneal|"
+        "XSBench|Graph500]\n"
+        "          [--design vanilla|shadow|fpt|ecpt|agile|asap|dmt|"
+        "pvdmt]\n"
+        "          [--env native|virt|nested] [--thp] [--scale N]\n"
+        "          [--accesses N] [--warmup N] [--seed N]\n"
+        "          [--record-trace FILE] [--trace FILE]\n",
+        argv0);
+    std::exit(2);
+}
+
+Design
+parseDesign(const std::string &name)
+{
+    if (name == "vanilla") return Design::Vanilla;
+    if (name == "shadow") return Design::Shadow;
+    if (name == "fpt") return Design::Fpt;
+    if (name == "ecpt") return Design::Ecpt;
+    if (name == "agile") return Design::Agile;
+    if (name == "asap") return Design::Asap;
+    if (name == "dmt") return Design::Dmt;
+    if (name == "pvdmt") return Design::PvDmt;
+    fatal("unknown design '%s'", name.c_str());
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--workload") opt.workload = value();
+        else if (arg == "--design") opt.design = value();
+        else if (arg == "--env") opt.env = value();
+        else if (arg == "--thp") opt.thp = true;
+        else if (arg == "--scale")
+            opt.scale = 1.0 / std::strtod(value().c_str(), nullptr);
+        else if (arg == "--accesses")
+            opt.accesses = std::strtoull(value().c_str(), nullptr, 10);
+        else if (arg == "--warmup")
+            opt.warmup = std::strtoull(value().c_str(), nullptr, 10);
+        else if (arg == "--seed")
+            opt.seed = std::strtoull(value().c_str(), nullptr, 10);
+        else if (arg == "--record-trace") opt.recordTrace = value();
+        else if (arg == "--trace") opt.traceFile = value();
+        else usage(argv[0]);
+    }
+    return opt;
+}
+
+void
+report(const SimResult &res, double coverage)
+{
+    std::printf("\naccesses            %llu\n",
+                static_cast<unsigned long long>(res.accesses));
+    std::printf("L1 TLB hits         %llu (%.2f%%)\n",
+                static_cast<unsigned long long>(res.l1TlbHits),
+                100.0 * static_cast<double>(res.l1TlbHits) /
+                    static_cast<double>(res.accesses));
+    std::printf("STLB hits           %llu (%.2f%%)\n",
+                static_cast<unsigned long long>(res.l2TlbHits),
+                100.0 * static_cast<double>(res.l2TlbHits) /
+                    static_cast<double>(res.accesses));
+    std::printf("page walks          %llu\n",
+                static_cast<unsigned long long>(res.walks));
+    std::printf("mean walk latency   %.2f cycles\n",
+                res.meanWalkLatency());
+    std::printf("dependent refs/walk %.2f\n", res.meanSeqRefs());
+    std::printf("parallel refs/walk  %.2f\n",
+                res.walks ? static_cast<double>(res.parallelRefs) /
+                                static_cast<double>(res.walks)
+                          : 0.0);
+    std::printf("walk overhead       %.3f cycles/access\n",
+                res.overheadPerAccess());
+    std::printf("fallback walks      %llu\n",
+                static_cast<unsigned long long>(res.fallbacks));
+    if (coverage >= 0.0)
+        std::printf("register coverage   %.2f%%\n", coverage * 100);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parse(argc, argv);
+    auto wl = makeWorkload(opt.workload, opt.scale);
+    const Design design = parseDesign(opt.design);
+
+    if (!opt.recordTrace.empty()) {
+        // Record mode: lay out the workload, dump its trace, done.
+        NativeTestbed tb(wl->footprintBytes(),
+                         scaledTestbedConfig(opt.scale));
+        wl->setup(tb.proc());
+        auto trace = wl->trace(opt.seed);
+        recordTrace(*trace, opt.warmup + opt.accesses,
+                    opt.recordTrace);
+        std::printf("recorded %llu accesses of %s to %s\n",
+                    static_cast<unsigned long long>(opt.warmup +
+                                                    opt.accesses),
+                    opt.workload.c_str(), opt.recordTrace.c_str());
+        return 0;
+    }
+
+    const TestbedConfig cfg = scaledTestbedConfig(
+        opt.scale, opt.thp ? ThpMode::Always : ThpMode::Never);
+    SimConfig simCfg;
+    simCfg.warmupAccesses = opt.warmup;
+    simCfg.measureAccesses = opt.accesses;
+
+    auto makeTrace = [&]() -> std::unique_ptr<TraceSource> {
+        if (!opt.traceFile.empty())
+            return std::make_unique<FileTrace>(opt.traceFile);
+        return wl->trace(opt.seed);
+    };
+
+    std::printf("%s / %s / %s%s, working set %.2f GB (1/%.0f of the "
+                "paper)\n",
+                opt.workload.c_str(), opt.design.c_str(),
+                opt.env.c_str(), opt.thp ? " +THP" : "",
+                static_cast<double>(wl->footprintBytes()) /
+                    (1ull << 30),
+                1.0 / opt.scale);
+
+    SimResult res;
+    double coverage = -1.0;
+    if (opt.env == "native") {
+        NativeTestbed tb(wl->footprintBytes(), cfg);
+        if (design == Design::Dmt)
+            tb.attachDmt();
+        wl->setup(tb.proc());
+        auto &mech = tb.build(design);
+        auto trace = makeTrace();
+        TranslationSimulator sim(mech, tb.tlbs(), tb.caches());
+        res = sim.run(*trace, simCfg);
+        if (tb.dmtFetcher())
+            coverage = tb.dmtFetcher()->stats().coverage();
+    } else if (opt.env == "virt") {
+        VirtTestbed tb(wl->footprintBytes(), cfg);
+        if (design == Design::Dmt || design == Design::PvDmt)
+            tb.attachDmt(design == Design::PvDmt);
+        wl->setup(tb.proc());
+        auto &mech = tb.build(design);
+        auto trace = makeTrace();
+        TranslationSimulator sim(mech, tb.tlbs(), tb.caches());
+        res = sim.run(*trace, simCfg);
+        if (tb.dmtFetcher())
+            coverage = tb.dmtFetcher()->stats().coverage();
+    } else if (opt.env == "nested") {
+        NestedTestbed tb(wl->footprintBytes(), cfg);
+        if (design == Design::PvDmt)
+            tb.attachPvDmt();
+        wl->setup(tb.proc());
+        auto &mech = tb.build(design);
+        auto trace = makeTrace();
+        TranslationSimulator sim(mech, tb.tlbs(), tb.caches());
+        res = sim.run(*trace, simCfg);
+        if (tb.dmtFetcher())
+            coverage = tb.dmtFetcher()->stats().coverage();
+    } else {
+        usage(argv[0]);
+    }
+    report(res, coverage);
+    return 0;
+}

@@ -1,0 +1,120 @@
+#include "baselines/agile.hh"
+
+#include "common/log.hh"
+
+namespace dmt
+{
+
+AgileWalker::AgileWalker(const RadixPageTable &spt,
+                         const RadixPageTable &guest_pt,
+                         const RadixPageTable &host_pt,
+                         NestedWalker::GpaToHostVa gpa_to_hva,
+                         MemoryHierarchy &caches,
+                         const PwcConfig &pwc_config)
+    : spt_(spt), guestPt_(guest_pt), hostPt_(host_pt),
+      gpaToHva_(std::move(gpa_to_hva)), caches_(caches),
+      shadowPwc_(pwc_config), nestedPwc_(pwc_config)
+{
+}
+
+Addr
+AgileWalker::hostWalk(Addr gpa, WalkRecord &rec)
+{
+    const Addr hva = gpaToHva_(gpa);
+    const auto path = hostPt_.walkPath(hva);
+    DMT_ASSERT(pteIsPresent(path.back().pte),
+               "agile: host page fault");
+    const auto hit = nestedPwc_.lookup(
+        hva, hostPt_.levels(),
+        static_cast<Pfn>(hostPt_.rootPa() >> pageShift));
+    rec.latency += nestedPwc_.latency();
+    for (const auto &step : path) {
+        if (step.level > hit.startLevel)
+            continue;
+        const Cycles cost = caches_.access(step.pteAddr);
+        rec.latency += cost;
+        ++rec.seqRefs;
+        if (recordSteps_)
+            rec.steps.push_back(
+                {'h', static_cast<std::int8_t>(step.level), cost});
+        if (step.level > 1 && !pteIsHuge(step.pte))
+            nestedPwc_.fill(hva, step.level - 1, ptePfn(step.pte));
+    }
+    const auto &leaf = path.back();
+    PageSize size = PageSize::Size4K;
+    if (leaf.level == 2)
+        size = PageSize::Size2M;
+    else if (leaf.level == 3)
+        size = PageSize::Size1G;
+    return (ptePfn(leaf.pte) << pageShift) +
+           (hva & (pageBytesOf(size) - 1));
+}
+
+WalkRecord
+AgileWalker::walk(Addr gva)
+{
+    WalkRecord rec;
+
+    // Guest leaf level decides where the nested part begins.
+    const auto gpath = guestPt_.walkPath(gva);
+    DMT_ASSERT(pteIsPresent(gpath.back().pte),
+               "agile: guest page fault");
+    const int leafLevel = gpath.back().level;
+
+    // Shadow part: walk the sPT down to just above the leaf level.
+    const auto spath = spt_.walkPath(gva);
+    const auto hit = shadowPwc_.lookup(
+        gva, spt_.levels(),
+        static_cast<Pfn>(spt_.rootPa() >> pageShift));
+    rec.latency += shadowPwc_.latency();
+    for (const auto &step : spath) {
+        if (step.level > hit.startLevel || step.level <= leafLevel)
+            continue;
+        const Cycles cost = caches_.access(step.pteAddr);
+        rec.latency += cost;
+        ++rec.seqRefs;
+        if (recordSteps_)
+            rec.steps.push_back(
+                {'n', static_cast<std::int8_t>(step.level), cost});
+        if (step.level > 1 && !pteIsHuge(step.pte))
+            shadowPwc_.fill(gva, step.level - 1, ptePfn(step.pte));
+    }
+
+    // Nested part: the last shadow entry holds the host-physical
+    // address of the guest leaf table (that is the point of the
+    // switch), so the guest leaf PTE is read directly; only the data
+    // page then needs a host walk.
+    const auto &gleaf = gpath.back();
+    const auto gPteHtr = hostPt_.translate(gpaToHva_(gleaf.pteAddr));
+    DMT_ASSERT(gPteHtr.has_value(), "agile: gPTE not backed");
+    const Addr gPteHpa = gPteHtr->pa;
+    const Cycles cLeaf = caches_.access(gPteHpa);
+    rec.latency += cLeaf;
+    ++rec.seqRefs;
+    if (recordSteps_)
+        rec.steps.push_back(
+            {'g', static_cast<std::int8_t>(leafLevel), cLeaf});
+
+    PageSize gsize = PageSize::Size4K;
+    if (leafLevel == 2)
+        gsize = PageSize::Size2M;
+    else if (leafLevel == 3)
+        gsize = PageSize::Size1G;
+    const Addr dataGpa = (ptePfn(gleaf.pte) << pageShift) +
+                         (gva & (pageBytesOf(gsize) - 1));
+    rec.size = gsize;
+    rec.pa = hostWalk(dataGpa, rec);
+    return rec;
+}
+
+Addr
+AgileWalker::resolve(Addr gva)
+{
+    const auto gtr = guestPt_.translate(gva);
+    DMT_ASSERT(gtr.has_value(), "agile resolve: unmapped gva");
+    const auto htr = hostPt_.translate(gpaToHva_(gtr->pa));
+    DMT_ASSERT(htr.has_value(), "agile resolve: gpa not backed");
+    return htr->pa;
+}
+
+} // namespace dmt

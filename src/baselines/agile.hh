@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Agile Paging (Gandhi et al., ISCA'16).
+ *
+ * Combines shadow and nested paging within one walk: the upper levels
+ * of the guest's tree are covered by a shadow page table (fast 1-D
+ * references, but VM exits on updates), and the walk switches to
+ * nested paging for the volatile leaf level. A walk therefore costs
+ * between 4 and 24 references depending on the switch point; with the
+ * default leaf-level switch it is
+ *
+ *   (levels-1) shadow refs + host walk of the guest leaf PTE
+ *   + the guest leaf PTE + host walk of the data page.
+ */
+
+#ifndef DMT_BASELINES_AGILE_HH
+#define DMT_BASELINES_AGILE_HH
+
+#include "mem/memory_hierarchy.hh"
+#include "pt/radix_page_table.hh"
+#include "sim/mechanism.hh"
+#include "tlb/pwc.hh"
+#include "virt/nested_walker.hh"
+#include "virt/shadow_pager.hh"
+
+namespace dmt
+{
+
+/** Fraction of full-shadow VM exits Agile Paging still takes (only
+ *  upper-level updates are intercepted). */
+constexpr double agileExitFraction = 0.1;
+
+/** Agile Paging walker for single-level virtualization. */
+class AgileWalker : public TranslationMechanism
+{
+  public:
+    /**
+     * @param spt the shadow table covering the upper levels
+     * @param guest_pt the guest's own table (leaf level walked nested)
+     * @param host_pt the host (EPT-role) table
+     * @param gpa_to_hva host-VA mapping of guest-physical space
+     */
+    AgileWalker(const RadixPageTable &spt,
+                const RadixPageTable &guest_pt,
+                const RadixPageTable &host_pt,
+                NestedWalker::GpaToHostVa gpa_to_hva,
+                MemoryHierarchy &caches,
+                const PwcConfig &pwc_config = {});
+
+    std::string name() const override { return "Agile Paging"; }
+    WalkRecord walk(Addr gva) override;
+    Addr resolve(Addr gva) override;
+
+    void
+    flush() override
+    {
+        shadowPwc_.flush();
+        nestedPwc_.flush();
+    }
+
+  private:
+    /** Host walk of one gPA, charging into rec. */
+    Addr hostWalk(Addr gpa, WalkRecord &rec);
+
+    const RadixPageTable &spt_;
+    const RadixPageTable &guestPt_;
+    const RadixPageTable &hostPt_;
+    NestedWalker::GpaToHostVa gpaToHva_;
+    MemoryHierarchy &caches_;
+    PageWalkCache shadowPwc_;
+    PageWalkCache nestedPwc_;
+};
+
+} // namespace dmt
+
+#endif // DMT_BASELINES_AGILE_HH

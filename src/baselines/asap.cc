@@ -1,0 +1,126 @@
+#include "baselines/asap.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace dmt
+{
+
+AsapNativeWalker::AsapNativeWalker(const RadixPageTable &pt,
+                                   MemoryHierarchy &caches,
+                                   const PwcConfig &pwc_config)
+    : pt_(pt), caches_(caches), pwc_(pwc_config)
+{
+}
+
+WalkRecord
+AsapNativeWalker::walk(Addr va)
+{
+    WalkRecord rec;
+    const auto path = pt_.walkPath(va);
+    DMT_ASSERT(pteIsPresent(path.back().pte), "ASAP: page fault");
+    const int leafLevel = path.back().level;
+
+    // The prefetch of the last two levels launches at miss time; it
+    // costs what a fetch from the current hierarchy state would.
+    Cycles prefetch = 0;
+    for (const auto &step : path) {
+        if (step.level > leafLevel + 1)
+            continue;
+        prefetch = std::max(prefetch, caches_.access(step.pteAddr));
+    }
+
+    // The conventional walk of the *upper* levels proceeds in
+    // parallel (PWC consulted as usual).
+    const auto hit =
+        pwc_.lookup(va, pt_.levels(),
+                    static_cast<Pfn>(pt_.rootPa() >> pageShift));
+    Cycles upper = pwc_.latency();
+    for (const auto &step : path) {
+        if (step.level > hit.startLevel ||
+            step.level <= leafLevel + 1) {
+            continue;
+        }
+        upper += caches_.access(step.pteAddr);
+        if (step.level > 1 && !pteIsHuge(step.pte))
+            pwc_.fill(va, step.level - 1, ptePfn(step.pte));
+    }
+    // When both streams complete the walker consumes the (now
+    // cached) last two PTEs at L1 speed. The reference chain is
+    // still the full walk (Table 6: 4 for ASAP) — only its latency
+    // is overlapped.
+    const Cycles consume = 2 * caches_.config().l1d.roundTrip;
+    rec.latency = std::max(upper, prefetch) + consume;
+    rec.seqRefs = static_cast<int>(path.size());
+    if (recordSteps_)
+        rec.steps.push_back({'n', 1, rec.latency});
+
+    const auto &leaf = path.back();
+    PageSize size = PageSize::Size4K;
+    if (leaf.level == 2)
+        size = PageSize::Size2M;
+    else if (leaf.level == 3)
+        size = PageSize::Size1G;
+    rec.size = size;
+    rec.pa = (ptePfn(leaf.pte) << pageShift) +
+             (va & (pageBytesOf(size) - 1));
+    return rec;
+}
+
+Addr
+AsapNativeWalker::resolve(Addr va)
+{
+    const auto tr = pt_.translate(va);
+    DMT_ASSERT(tr.has_value(), "ASAP resolve: unmapped");
+    return tr->pa;
+}
+
+AsapVirtWalker::AsapVirtWalker(const RadixPageTable &guest_pt,
+                               const RadixPageTable &host_pt,
+                               NestedWalker::GpaToHostVa gpa_to_hva,
+                               MemoryHierarchy &caches,
+                               const PwcConfig &pwc_config)
+    : guestPt_(guest_pt), hostPt_(host_pt), gpaToHva_(gpa_to_hva),
+      caches_(caches),
+      nested_(guest_pt, host_pt, gpa_to_hva, caches, pwc_config,
+              "ASAP")
+{
+}
+
+WalkRecord
+AsapVirtWalker::walk(Addr gva)
+{
+    // The offset tables give the guest-physical addresses of the
+    // last two guest PTE levels, but a prefetch can only issue when
+    // the host translation of that gPA is already at hand (nested
+    // PWC) — the host-walk dependency chain is what limits ASAP in
+    // virtualized environments (the paper's §6.2.2). The final data
+    // hPTE is never prefetchable (it depends on the gL1 content).
+    const auto gpath = guestPt_.walkPath(gva);
+    const int leafLevel = gpath.back().level;
+    for (const auto &step : gpath) {
+        if (step.level > leafLevel + 1)
+            continue;
+        // A prefetch only issues when the nested PWC can resolve the
+        // gPA's host side in at most a couple of references — a
+        // short-enough chain to complete inside the walk window.
+        const Addr hva = gpaToHva_(step.pteAddr);
+        if (!nested_.nestedPwc().probeLowPointer(hva))
+            continue;
+        const auto htr = hostPt_.translate(hva);
+        if (htr)
+            caches_.prefetch(htr->pa);
+    }
+    // The 2-D walk itself is unchanged: the dependency chain of the
+    // host dimension cannot be prefetched away.
+    return nested_.walk(gva);
+}
+
+Addr
+AsapVirtWalker::resolve(Addr gva)
+{
+    return nested_.resolve(gva);
+}
+
+} // namespace dmt

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * ASAP — prefetched address translation (Margaritov et al.,
+ * MICRO'19).
+ *
+ * ASAP keeps flat per-process offset tables that let the MMU compute
+ * the addresses of the last two levels of PTEs directly from the VA,
+ * and prefetches them at TLB-miss time, in parallel with the start of
+ * the conventional walk. The walk itself is unchanged (4 references
+ * natively, 24 virtualized); the gain is overlap: the leaf fetch has
+ * already been in flight while the upper levels resolved.
+ *
+ * We model the prefetch as ideal (the offset tables always predict
+ * correctly) and charge the walk as
+ *
+ *   latency = max(upper-level walk, leaf prefetch) + L1-refill hit
+ *
+ * natively. In the virtualized case the dependency chain cannot be
+ * broken (the paper's §6.2.2): the guest leaf PTEs' host addresses
+ * are only known after their host walks, so ASAP merely warms the
+ * cache for the *guest-dimension* leaf PTEs whose host translations
+ * hit the nested PWC; all 24 references stay sequential.
+ */
+
+#ifndef DMT_BASELINES_ASAP_HH
+#define DMT_BASELINES_ASAP_HH
+
+#include "mem/memory_hierarchy.hh"
+#include "pt/radix_page_table.hh"
+#include "sim/mechanism.hh"
+#include "sim/radix_walker.hh"
+#include "virt/nested_walker.hh"
+
+namespace dmt
+{
+
+/** Native ASAP: radix walk overlapped with leaf PTE prefetch. */
+class AsapNativeWalker : public TranslationMechanism
+{
+  public:
+    AsapNativeWalker(const RadixPageTable &pt, MemoryHierarchy &caches,
+                     const PwcConfig &pwc_config = {});
+
+    std::string name() const override { return "ASAP"; }
+    WalkRecord walk(Addr va) override;
+    Addr resolve(Addr va) override;
+    void flush() override { pwc_.flush(); }
+
+  private:
+    const RadixPageTable &pt_;
+    MemoryHierarchy &caches_;
+    PageWalkCache pwc_;
+};
+
+/** Virtualized ASAP: a 2-D walk with guest-leaf prefetch warming. */
+class AsapVirtWalker : public TranslationMechanism
+{
+  public:
+    AsapVirtWalker(const RadixPageTable &guest_pt,
+                   const RadixPageTable &host_pt,
+                   NestedWalker::GpaToHostVa gpa_to_hva,
+                   MemoryHierarchy &caches,
+                   const PwcConfig &pwc_config = {});
+
+    std::string name() const override { return "ASAP"; }
+    WalkRecord walk(Addr gva) override;
+    Addr resolve(Addr gva) override;
+    void flush() override { nested_.flush(); }
+
+    NestedWalker &nested() { return nested_; }
+
+  private:
+    const RadixPageTable &guestPt_;
+    const RadixPageTable &hostPt_;
+    NestedWalker::GpaToHostVa gpaToHva_;
+    MemoryHierarchy &caches_;
+    NestedWalker nested_;
+};
+
+} // namespace dmt
+
+#endif // DMT_BASELINES_ASAP_HH

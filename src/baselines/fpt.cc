@@ -1,0 +1,296 @@
+#include "baselines/fpt.hh"
+
+#include "common/log.hh"
+#include "pt/pte.hh"
+
+namespace dmt
+{
+
+FlatPageTable::FlatPageTable(Memory &mem, BuddyAllocator &allocator)
+    : mem_(mem), allocator_(allocator)
+{
+    const auto base =
+        allocator_.allocContig(regionPages, FrameKind::PageTable);
+    if (!base)
+        fatal("cannot allocate the FPT root region");
+    rootBase_ = *base;
+    mem_.zeroRange(rootBase_ << pageShift, regionPages << pageShift);
+}
+
+FlatPageTable::~FlatPageTable()
+{
+    allocator_.freeContig(rootBase_, regionPages);
+    for (const auto &[idx, base] : leaves_)
+        allocator_.freeContig(base, regionPages);
+    for (const auto &[idx, pfn] : hugeTables_)
+        allocator_.freePages(pfn, 0);
+}
+
+Addr
+FlatPageTable::rootEntryAddr(Addr va) const
+{
+    return (rootBase_ << pageShift) + rootIndex(va) * pteSize;
+}
+
+Pfn
+FlatPageTable::leafRegion(Addr va)
+{
+    const std::uint64_t idx = rootIndex(va);
+    auto it = leaves_.find(idx);
+    if (it != leaves_.end())
+        return it->second;
+    const auto base =
+        allocator_.allocContig(regionPages, FrameKind::PageTable);
+    if (!base)
+        fatal("cannot allocate an FPT leaf region");
+    mem_.zeroRange(*base << pageShift, regionPages << pageShift);
+    leaves_[idx] = *base;
+    mem_.write64(rootEntryAddr(va),
+                 makePte(*base, pte_flags::present |
+                                    pte_flags::writable |
+                                    pte_flags::user));
+    return *base;
+}
+
+Pfn
+FlatPageTable::hugeTable(Addr va)
+{
+    const std::uint64_t idx = rootIndex(va);
+    auto it = hugeTables_.find(idx);
+    if (it != hugeTables_.end())
+        return it->second;
+    const auto pfn = allocator_.allocPages(0, FrameKind::PageTable);
+    if (!pfn)
+        fatal("cannot allocate an FPT huge table");
+    mem_.zeroRange(*pfn << pageShift, pageSize);
+    hugeTables_[idx] = *pfn;
+    return *pfn;
+}
+
+void
+FlatPageTable::map(Addr va, Pfn pfn, PageSize size)
+{
+    DMT_ASSERT(size != PageSize::Size1G,
+               "FPT models 4 KB and 2 MB pages");
+    const Addr bytes = pageBytesOf(size);
+    DMT_ASSERT((va & (bytes - 1)) == 0, "FPT map: unaligned va");
+    std::uint64_t flags = pte_flags::present | pte_flags::writable |
+                          pte_flags::user;
+    if (size == PageSize::Size2M) {
+        // Huge entries stay dense: a regular-format 512-entry table
+        // per 1 GB region, indexed by VA[29:21]. No flattened leaf
+        // region is materialised for pure-huge regions.
+        const Pfn table = hugeTable(va);
+        const Addr slot = (table << pageShift) +
+                          ((va >> 21) & 0x1ff) * pteSize;
+        mem_.write64(slot,
+                     makePte(pfn, flags | pte_flags::pageSize));
+        return;
+    }
+    const Pfn region = leafRegion(va);
+    const Addr slot =
+        (region << pageShift) + leafIndex(va) * pteSize;
+    mem_.write64(slot, makePte(pfn, flags));
+}
+
+std::optional<std::pair<Addr, Addr>>
+FlatPageTable::leafSlots(Addr va) const
+{
+    auto it = leaves_.find(rootIndex(va));
+    auto ht = hugeTables_.find(rootIndex(va));
+    if (it == leaves_.end() && ht == hugeTables_.end())
+        return std::nullopt;
+    const Addr slot2m =
+        ht != hugeTables_.end()
+            ? (ht->second << pageShift) +
+                  ((va >> 21) & 0x1ff) * pteSize
+            : invalidAddr;
+    const Addr slot4k =
+        it != leaves_.end()
+            ? (it->second << pageShift) + leafIndex(va) * pteSize
+            : slot2m;
+    return std::make_pair(slot4k, slot2m != invalidAddr ? slot2m
+                                                        : slot4k);
+}
+
+std::optional<Translation>
+FlatPageTable::translate(Addr va) const
+{
+    const auto slots = leafSlots(va);
+    if (!slots)
+        return std::nullopt;
+    const std::uint64_t pte4k = mem_.read64(slots->first);
+    if (pteIsPresent(pte4k) && !pteIsHuge(pte4k)) {
+        return Translation{ptePfn(pte4k), PageSize::Size4K,
+                           (ptePfn(pte4k) << pageShift) +
+                               (va & pageMask)};
+    }
+    const std::uint64_t pte2m = mem_.read64(slots->second);
+    if (pteIsPresent(pte2m) && pteIsHuge(pte2m)) {
+        return Translation{ptePfn(pte2m), PageSize::Size2M,
+                           (ptePfn(pte2m) << pageShift) +
+                               (va & (hugePageSize - 1))};
+    }
+    return std::nullopt;
+}
+
+std::uint64_t
+FlatPageTable::framePages() const
+{
+    return regionPages * (1 + leaves_.size()) + hugeTables_.size();
+}
+
+FptNativeWalker::FptNativeWalker(const FlatPageTable &table,
+                                 MemoryHierarchy &caches)
+    : table_(table), caches_(caches)
+{
+}
+
+WalkRecord
+FptNativeWalker::walk(Addr va)
+{
+    WalkRecord rec;
+    // Reference 1: the root flat entry.
+    const Cycles c1 = caches_.access(table_.rootEntryAddr(va));
+    rec.latency += c1;
+    ++rec.seqRefs;
+    if (recordSteps_)
+        rec.steps.push_back({'n', 4, c1});
+    // Reference 2: the leaf slot (4 KB and 2 MB probed in parallel;
+    // the present one's arrival completes the reference).
+    const auto slots = table_.leafSlots(va);
+    DMT_ASSERT(slots.has_value(), "FPT walk: leaf region missing");
+    const auto tr = table_.translate(va);
+    DMT_ASSERT(tr.has_value(), "FPT walk: page fault");
+    const bool huge = tr->size == PageSize::Size2M;
+    Cycles c2;
+    if (slots->second == slots->first) {
+        c2 = caches_.access(slots->first);
+    } else if (huge) {
+        caches_.accessClean(slots->first);
+        c2 = caches_.access(slots->second);
+        ++rec.parallelRefs;
+    } else {
+        c2 = caches_.access(slots->first);
+        caches_.accessClean(slots->second);
+        ++rec.parallelRefs;
+    }
+    rec.latency += c2;
+    ++rec.seqRefs;
+    if (recordSteps_)
+        rec.steps.push_back({'n', 1, c2});
+    rec.size = tr->size;
+    rec.pa = tr->pa;
+    return rec;
+}
+
+Addr
+FptNativeWalker::resolve(Addr va)
+{
+    const auto tr = table_.translate(va);
+    DMT_ASSERT(tr.has_value(), "FPT resolve: unmapped");
+    return tr->pa;
+}
+
+FptVirtWalker::FptVirtWalker(const FlatPageTable &guest_table,
+                             const FlatPageTable &host_table,
+                             VirtualMachine &vm,
+                             MemoryHierarchy &caches)
+    : guestTable_(guest_table), hostTable_(host_table), vm_(vm),
+      caches_(caches)
+{
+}
+
+Addr
+FptVirtWalker::hostWalk(Addr gpa, WalkRecord &rec)
+{
+    const Addr hva = vm_.gpaToHva(gpa);
+    const Cycles c1 = caches_.access(hostTable_.rootEntryAddr(hva));
+    rec.latency += c1;
+    ++rec.seqRefs;
+    if (recordSteps_)
+        rec.steps.push_back({'h', 4, c1});
+    const auto slots = hostTable_.leafSlots(hva);
+    DMT_ASSERT(slots.has_value(), "host FPT: leaf region missing");
+    const auto tr = hostTable_.translate(hva);
+    DMT_ASSERT(tr.has_value(), "host FPT: gpa not backed");
+    const bool huge = tr->size == PageSize::Size2M;
+    Cycles c2;
+    if (slots->second == slots->first) {
+        c2 = caches_.access(slots->first);
+    } else if (huge) {
+        caches_.accessClean(slots->first);
+        c2 = caches_.access(slots->second);
+        ++rec.parallelRefs;
+    } else {
+        c2 = caches_.access(slots->first);
+        caches_.accessClean(slots->second);
+        ++rec.parallelRefs;
+    }
+    rec.latency += c2;
+    ++rec.seqRefs;
+    if (recordSteps_)
+        rec.steps.push_back({'h', 1, c2});
+    return tr->pa;
+}
+
+WalkRecord
+FptVirtWalker::walk(Addr gva)
+{
+    WalkRecord rec;
+    // Guest root entry: host-resolve its gPA, then read it.
+    const Addr rootGpa = guestTable_.rootEntryAddr(gva);
+    const Addr rootHpa = hostWalk(rootGpa, rec);
+    const Cycles cRoot = caches_.access(rootHpa);
+    rec.latency += cRoot;
+    ++rec.seqRefs;
+    if (recordSteps_)
+        rec.steps.push_back({'g', 4, cRoot});
+
+    // Guest leaf slot: host-resolve, then read (4K/2M in parallel).
+    const auto slots = guestTable_.leafSlots(gva);
+    DMT_ASSERT(slots.has_value(), "guest FPT: leaf region missing");
+    const auto gtr = guestTable_.translate(gva);
+    DMT_ASSERT(gtr.has_value(), "guest FPT: page fault");
+    const bool ghuge = gtr->size == PageSize::Size2M;
+    const Addr slotHpaBase = hostWalk(slots->first, rec);
+    Cycles cLeaf;
+    if (slots->second == slots->first) {
+        cLeaf = caches_.access(slotHpaBase);
+    } else {
+        // The huge slot's host page differs in general; resolve it
+        // functionally (its own host walk overlaps the 4 KB one).
+        const auto h2 = hostTable_.translate(
+            vm_.gpaToHva(slots->second));
+        DMT_ASSERT(h2.has_value(), "host FPT: huge slot not backed");
+        if (ghuge) {
+            caches_.accessClean(slotHpaBase);
+            cLeaf = caches_.access(h2->pa);
+        } else {
+            cLeaf = caches_.access(slotHpaBase);
+            caches_.accessClean(h2->pa);
+        }
+        ++rec.parallelRefs;
+    }
+    rec.latency += cLeaf;
+    ++rec.seqRefs;
+    if (recordSteps_)
+        rec.steps.push_back({'g', 1, cLeaf});
+    rec.size = gtr->size;
+
+    // Final host walk for the data page.
+    rec.pa = hostWalk(gtr->pa, rec);
+    return rec;
+}
+
+Addr
+FptVirtWalker::resolve(Addr gva)
+{
+    const auto gtr = guestTable_.translate(gva);
+    DMT_ASSERT(gtr.has_value(), "FPT resolve: unmapped gva");
+    const auto htr = hostTable_.translate(vm_.gpaToHva(gtr->pa));
+    DMT_ASSERT(htr.has_value(), "FPT resolve: gpa not backed");
+    return htr->pa;
+}
+
+} // namespace dmt

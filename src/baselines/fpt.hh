@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Flattened Page Tables (Park et al., ASPLOS'22).
+ *
+ * FPT merges adjacent radix levels: one 2 MB *root* flat table
+ * indexed by VA[47:30] (L4+L3 merged) whose entries point to 2 MB
+ * *leaf* flat tables indexed by VA[29:12] (L2+L1 merged). A native
+ * walk is two dependent references; a virtualized 2-D walk over two
+ * FPTs takes eight (Table 6 of the DMT paper).
+ *
+ * Huge (2 MB) mappings are stored at the slot of their first 4 KB
+ * index; since the hardware cannot know the page size up front, the
+ * leaf step probes the 4 KB slot and the huge-page slot in parallel.
+ */
+
+#ifndef DMT_BASELINES_FPT_HH
+#define DMT_BASELINES_FPT_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "common/types.hh"
+#include "mem/memory.hh"
+#include "mem/memory_hierarchy.hh"
+#include "os/buddy_allocator.hh"
+#include "sim/mechanism.hh"
+#include "virt/virtual_machine.hh"
+
+namespace dmt
+{
+
+/** A two-level flattened page table. */
+class FlatPageTable
+{
+  public:
+    FlatPageTable(Memory &mem, BuddyAllocator &allocator);
+
+    ~FlatPageTable();
+
+    FlatPageTable(const FlatPageTable &) = delete;
+    FlatPageTable &operator=(const FlatPageTable &) = delete;
+
+    /** Map a page (4 KB or 2 MB). */
+    void map(Addr va, Pfn pfn, PageSize size);
+
+    /** Functional translation. */
+    std::optional<Translation> translate(Addr va) const;
+
+    /** Address of the root flat entry for va. */
+    Addr rootEntryAddr(Addr va) const;
+
+    /**
+     * Leaf slot addresses probed for va: the 4 KB slot and (if
+     * different) the covering 2 MB huge slot.
+     * @return nullopt if the leaf region does not exist
+     */
+    std::optional<std::pair<Addr, Addr>> leafSlots(Addr va) const;
+
+    /** Frames consumed by the flat tables. */
+    std::uint64_t framePages() const;
+
+  private:
+    static constexpr std::uint64_t rootEntries = 1ull << 18;
+    static constexpr std::uint64_t leafEntries = 1ull << 18;
+    static constexpr std::uint64_t regionPages =
+        rootEntries * pteSize >> pageShift;  //!< 512 pages = 2 MB
+
+    /** Root index: VA[47:30]. */
+    static std::uint64_t rootIndex(Addr va) { return (va >> 30) & 0x3ffff; }
+    /** Leaf index: VA[29:12]. */
+    static std::uint64_t leafIndex(Addr va) { return (va >> 12) & 0x3ffff; }
+
+    /** Get or create the leaf region for va. */
+    Pfn leafRegion(Addr va);
+
+    /** Get or create the dense huge-entry table for va's region. */
+    Pfn hugeTable(Addr va);
+
+    Memory &mem_;
+    BuddyAllocator &allocator_;
+    Pfn rootBase_;
+    std::map<std::uint64_t, Pfn> leaves_;  //!< root index -> region
+    /** Dense 2 MB-entry tables (512 entries each), per root index;
+     *  FPT keeps huge mappings in regular-format tables rather than
+     *  spreading them through the flattened leaf region. */
+    std::map<std::uint64_t, Pfn> hugeTables_;
+};
+
+/** Native FPT walker: two dependent references. */
+class FptNativeWalker : public TranslationMechanism
+{
+  public:
+    FptNativeWalker(const FlatPageTable &table,
+                    MemoryHierarchy &caches);
+
+    std::string name() const override { return "FPT"; }
+    WalkRecord walk(Addr va) override;
+    Addr resolve(Addr va) override;
+
+  private:
+    const FlatPageTable &table_;
+    MemoryHierarchy &caches_;
+};
+
+/** Virtualized FPT: a 2-D walk over guest and host FPTs (8 refs). */
+class FptVirtWalker : public TranslationMechanism
+{
+  public:
+    FptVirtWalker(const FlatPageTable &guest_table,
+                  const FlatPageTable &host_table, VirtualMachine &vm,
+                  MemoryHierarchy &caches);
+
+    std::string name() const override { return "FPT"; }
+    WalkRecord walk(Addr gva) override;
+    Addr resolve(Addr gva) override;
+
+  private:
+    /** Two-reference host FPT walk; @return hPA of gpa. */
+    Addr hostWalk(Addr gpa, WalkRecord &rec);
+
+    const FlatPageTable &guestTable_;
+    const FlatPageTable &hostTable_;
+    VirtualMachine &vm_;
+    MemoryHierarchy &caches_;
+};
+
+} // namespace dmt
+
+#endif // DMT_BASELINES_FPT_HH

@@ -1,0 +1,120 @@
+#include "common/stats.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace dmt
+{
+
+Histogram::Histogram(std::size_t n_buckets, double bucket_width)
+    : buckets_(n_buckets, 0), bucketWidth_(bucket_width)
+{
+    DMT_ASSERT(n_buckets > 0, "histogram needs at least one bucket");
+    DMT_ASSERT(bucket_width > 0.0, "histogram bucket width must be > 0");
+}
+
+void
+Histogram::sample(double v)
+{
+    ++count_;
+    sum_ += v;
+    if (v < 0.0) {
+        ++overflow_;
+        return;
+    }
+    const auto idx = static_cast<std::size_t>(v / bucketWidth_);
+    if (idx >= buckets_.size()) {
+        ++overflow_;
+    } else {
+        ++buckets_[idx];
+    }
+}
+
+double
+Histogram::mean() const
+{
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double
+Histogram::percentile(double p) const
+{
+    DMT_ASSERT(p >= 0.0 && p <= 1.0, "percentile must be in [0,1]");
+    if (count_ == 0)
+        return 0.0;
+    const auto target = static_cast<Counter>(
+        p * static_cast<double>(count_));
+    Counter seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (seen >= target)
+            return (static_cast<double>(i) + 1.0) * bucketWidth_;
+    }
+    return static_cast<double>(buckets_.size()) * bucketWidth_;
+}
+
+void
+Histogram::reset()
+{
+    for (auto &b : buckets_)
+        b = 0;
+    overflow_ = 0;
+    count_ = 0;
+    sum_ = 0.0;
+}
+
+ScalarStat &
+StatGroup::scalar(const std::string &name)
+{
+    return scalars_[name];
+}
+
+bool
+StatGroup::has(const std::string &name) const
+{
+    return scalars_.count(name) > 0;
+}
+
+const ScalarStat &
+StatGroup::get(const std::string &name) const
+{
+    auto it = scalars_.find(name);
+    if (it == scalars_.end())
+        panic("unknown stat '%s' in group '%s'", name.c_str(),
+              name_.c_str());
+    return it->second;
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &[name, stat] : scalars_) {
+        os << name_ << "." << name << " count=" << stat.count()
+           << " sum=" << stat.sum() << " mean=" << stat.mean() << "\n";
+    }
+}
+
+void
+StatGroup::reset()
+{
+    for (auto &[name, stat] : scalars_) {
+        (void)name;
+        stat.reset();
+    }
+}
+
+double
+geoMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double logSum = 0.0;
+    for (double v : values) {
+        DMT_ASSERT(v > 0.0, "geometric mean needs positive values");
+        logSum += std::log(v);
+    }
+    return std::exp(logSum / static_cast<double>(values.size()));
+}
+
+} // namespace dmt

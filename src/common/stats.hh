@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Lightweight statistics package: named scalar counters, averages,
+ * histograms, and a registry that can dump everything at end of
+ * simulation. Modeled loosely on the gem5 stats package, sized for
+ * this project.
+ */
+
+#ifndef DMT_COMMON_STATS_HH
+#define DMT_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dmt
+{
+
+/** A running scalar statistic (count / sum / min / max / mean). */
+class ScalarStat
+{
+  public:
+    /** Record one sample. */
+    void
+    sample(double v)
+    {
+        if (count_ == 0 || v < min_)
+            min_ = v;
+        if (count_ == 0 || v > max_)
+            max_ = v;
+        sum_ += v;
+        ++count_;
+    }
+
+    /** Add to the stat as a plain counter. */
+    void
+    inc(double v = 1.0)
+    {
+        sum_ += v;
+        ++count_;
+    }
+
+    Counter count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** @return the arithmetic mean of all samples (0 if empty). */
+    double
+    mean() const
+    {
+        return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+    }
+
+    /** Reset to the initial (empty) state. */
+    void
+    reset()
+    {
+        count_ = 0;
+        sum_ = min_ = max_ = 0.0;
+    }
+
+  private:
+    Counter count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** A fixed-bucket histogram over [0, bucketWidth * nBuckets). */
+class Histogram
+{
+  public:
+    /**
+     * @param n_buckets number of equal-width buckets
+     * @param bucket_width width of each bucket
+     */
+    Histogram(std::size_t n_buckets, double bucket_width);
+
+    /** Record one sample; values beyond the range land in overflow. */
+    void sample(double v);
+
+    /** @return the count in bucket i. */
+    Counter bucket(std::size_t i) const { return buckets_.at(i); }
+
+    Counter overflow() const { return overflow_; }
+    Counter count() const { return count_; }
+    double mean() const;
+
+    /** @return the value below which the given fraction of samples lie. */
+    double percentile(double p) const;
+
+    std::size_t numBuckets() const { return buckets_.size(); }
+    double bucketWidth() const { return bucketWidth_; }
+
+    /** Reset all buckets. */
+    void reset();
+
+  private:
+    std::vector<Counter> buckets_;
+    double bucketWidth_;
+    Counter overflow_ = 0;
+    Counter count_ = 0;
+    double sum_ = 0.0;
+};
+
+/**
+ * A named collection of scalar stats. Components own a StatGroup and
+ * register their counters with stable names so tests and benches can
+ * query them by name.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    /** Get (creating if needed) a scalar stat by name. */
+    ScalarStat &scalar(const std::string &name);
+
+    /** @return true if the named scalar exists. */
+    bool has(const std::string &name) const;
+
+    /** @return the named scalar; panics if missing. */
+    const ScalarStat &get(const std::string &name) const;
+
+    const std::string &name() const { return name_; }
+
+    /** Write a human-readable dump of all stats. */
+    void dump(std::ostream &os) const;
+
+    /** Reset every stat in the group. */
+    void reset();
+
+  private:
+    std::string name_;
+    std::map<std::string, ScalarStat> scalars_;
+};
+
+/** @return the geometric mean of a list of positive values. */
+double geoMean(const std::vector<double> &values);
+
+} // namespace dmt
+
+#endif // DMT_COMMON_STATS_HH

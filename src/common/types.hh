@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Fundamental address and size types shared across the DMT simulator.
+ *
+ * The simulator models three address spaces: (guest/native) virtual,
+ * guest physical, and host physical. All are 64-bit. We keep them as
+ * plain typedefs rather than strong types so that the arithmetic-heavy
+ * walker code stays readable; functions document which space each
+ * parameter lives in.
+ */
+
+#ifndef DMT_COMMON_TYPES_HH
+#define DMT_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace dmt
+{
+
+/** A 64-bit address (virtual or physical; see local documentation). */
+using Addr = std::uint64_t;
+
+/** A virtual page number (VA >> page shift). */
+using Vpn = std::uint64_t;
+
+/** A physical frame number (PA >> page shift). */
+using Pfn = std::uint64_t;
+
+/** Simulated time, in CPU cycles. */
+using Cycles = std::uint64_t;
+
+/** Counter type for statistics. */
+using Counter = std::uint64_t;
+
+/// Base page geometry (x86-64, 4 KB pages).
+constexpr int pageShift = 12;
+constexpr Addr pageSize = Addr{1} << pageShift;
+constexpr Addr pageMask = pageSize - 1;
+
+/// 2 MB huge page.
+constexpr int hugePageShift = 21;
+constexpr Addr hugePageSize = Addr{1} << hugePageShift;
+
+/// 1 GB huge page.
+constexpr int gigaPageShift = 30;
+constexpr Addr gigaPageSize = Addr{1} << gigaPageShift;
+
+/** Page sizes supported by the x86-64 architecture. */
+enum class PageSize : std::uint8_t
+{
+    Size4K = 0,
+    Size2M = 1,
+    Size1G = 2,
+};
+
+/** @return the shift amount (log2 of the byte size) of a page size. */
+constexpr int
+pageShiftOf(PageSize sz)
+{
+    switch (sz) {
+      case PageSize::Size4K: return pageShift;
+      case PageSize::Size2M: return hugePageShift;
+      case PageSize::Size1G: return gigaPageShift;
+    }
+    return pageShift;
+}
+
+/** @return the byte size of a page of the given size class. */
+constexpr Addr
+pageBytesOf(PageSize sz)
+{
+    return Addr{1} << pageShiftOf(sz);
+}
+
+/** @return addr rounded down to the enclosing page boundary. */
+constexpr Addr
+pageAlignDown(Addr addr, PageSize sz = PageSize::Size4K)
+{
+    return addr & ~(pageBytesOf(sz) - 1);
+}
+
+/** @return addr rounded up to the next page boundary. */
+constexpr Addr
+pageAlignUp(Addr addr, PageSize sz = PageSize::Size4K)
+{
+    const Addr bytes = pageBytesOf(sz);
+    return (addr + bytes - 1) & ~(bytes - 1);
+}
+
+/** Size of one page table entry in bytes (x86-64). */
+constexpr Addr pteSize = 8;
+
+/** Number of PTEs per 4 KB page-table page. */
+constexpr int ptesPerPage = pageSize / pteSize;
+
+/** An invalid/poison address used as a sentinel. */
+constexpr Addr invalidAddr = ~Addr{0};
+
+} // namespace dmt
+
+#endif // DMT_COMMON_TYPES_HH

@@ -1,0 +1,381 @@
+#include "core/dmt_fetcher.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "pt/pte.hh"
+
+namespace dmt
+{
+
+DirectProbe
+directProbe(const DmtRegisterFile &regs, const Memory &mem,
+            MemoryHierarchy &caches, Addr va, const GteaTable *gtable)
+{
+    DirectProbe out;
+    const DmtRegister *matches[3];
+    const int n = regs.matchAll(va, matches);
+    if (n == 0)
+        return out;
+    out.matched = true;
+    for (int s = 0; s < 3; ++s) {
+        const DmtRegister *reg = matches[s];
+        if (!reg)
+            continue;
+        Addr pteAddr;
+        if (reg->gteaId >= 0) {
+            DMT_ASSERT(gtable != nullptr,
+                       "pvDMT register without a gTEA table");
+            const std::uint64_t index =
+                (va - reg->tea.coverBase) >>
+                pageShiftOf(reg->tea.leafSize);
+            const auto resolved =
+                gtable->resolvePte(reg->gteaId, index);
+            if (!resolved) {
+                out.faulted = true;
+                continue;
+            }
+            pteAddr = *resolved;
+        } else {
+            pteAddr = reg->tea.pteAddr(va);
+        }
+        // All probes issue in parallel. The translation completes
+        // when the probe holding the (unique) present leaf returns;
+        // losing probes cost bandwidth but their lines are not kept.
+        ++out.probes;
+        const std::uint64_t pte = mem.read64(pteAddr);
+        bool winner = pteIsPresent(pte);
+        // A 2 MB/1 GB TEA slot can hold a non-leaf (table pointer)
+        // entry for regions mapped with smaller pages; only a leaf
+        // counts.
+        const int level =
+            RadixPageTable::leafLevel(reg->tea.leafSize);
+        if (winner && level > 1 && !pteIsHuge(pte))
+            winner = false;
+        if (!winner) {
+            const Cycles cost = caches.accessClean(pteAddr);
+            // If nothing ends up present the walk faults; charge the
+            // slowest probe in that case.
+            if (!out.present)
+                out.latency = std::max(out.latency, cost);
+            continue;
+        }
+        DMT_ASSERT(!out.present,
+                   "two TEAs hold a leaf PTE for va 0x%llx",
+                   static_cast<unsigned long long>(va));
+        out.present = true;
+        out.latency = caches.access(pteAddr);
+        out.pte = pte;
+        out.size = reg->tea.leafSize;
+        out.pteAddr = pteAddr;
+    }
+    return out;
+}
+
+namespace
+{
+
+/** Physical address of the byte va inside the page a leaf PTE maps. */
+Addr
+leafPa(std::uint64_t pte, PageSize size, Addr va)
+{
+    return (ptePfn(pte) << pageShift) +
+           (va & (pageBytesOf(size) - 1));
+}
+
+} // namespace
+
+DmtNativeFetcher::DmtNativeFetcher(const DmtRegisterFile &regs,
+                                   const RadixPageTable &pt,
+                                   const Memory &mem,
+                                   MemoryHierarchy &caches,
+                                   TranslationMechanism &fallback)
+    : regs_(regs), pt_(pt), mem_(mem), caches_(caches),
+      fallback_(fallback)
+{
+}
+
+WalkRecord
+DmtNativeFetcher::walk(Addr va)
+{
+    ++fetcherStats_.requests;
+    const DirectProbe probe =
+        directProbe(regs_, mem_, caches_, va, nullptr);
+    if (!probe.matched || !probe.present) {
+        ++fetcherStats_.fallbacks;
+        WalkRecord rec = fallback_.walk(va);
+        rec.fellBack = true;
+        // Probes issued before falling back still took time.
+        rec.latency += probe.latency;
+        rec.parallelRefs += probe.probes;
+        return rec;
+    }
+    ++fetcherStats_.direct;
+    WalkRecord rec;
+    rec.latency = probe.latency;
+    rec.seqRefs = 1;
+    rec.parallelRefs = probe.probes - 1;
+    rec.size = probe.size;
+    rec.pa = leafPa(probe.pte, probe.size, va);
+    if (recordSteps_)
+        rec.steps.push_back({'d', 1, probe.latency});
+    return rec;
+}
+
+Addr
+DmtNativeFetcher::resolve(Addr va)
+{
+    const auto tr = pt_.translate(va);
+    DMT_ASSERT(tr.has_value(), "resolve: unmapped va");
+    return tr->pa;
+}
+
+DmtVirtFetcher::DmtVirtFetcher(const DmtRegisterFile &guest_regs,
+                               const DmtRegisterFile &host_regs,
+                               VirtualMachine &vm,
+                               const Memory &host_mem,
+                               MemoryHierarchy &caches,
+                               TranslationMechanism &fallback,
+                               const GteaTable *gtea_table)
+    : guestRegs_(guest_regs), hostRegs_(host_regs), vm_(vm),
+      hostMem_(host_mem), caches_(caches), fallback_(fallback),
+      gteaTable_(gtea_table)
+{
+}
+
+bool
+DmtVirtFetcher::hostFetch(Addr gpa, WalkRecord &rec, Addr &hpa_out)
+{
+    const Addr hva = vm_.gpaToHva(gpa);
+    const DirectProbe probe =
+        directProbe(hostRegs_, hostMem_, caches_, hva, nullptr);
+    if (!probe.matched || !probe.present)
+        return false;
+    rec.latency += probe.latency;
+    ++rec.seqRefs;
+    rec.parallelRefs += probe.probes - 1;
+    if (recordSteps_) {
+        const int hlevel = RadixPageTable::leafLevel(probe.size);
+        rec.steps.push_back(
+            {'h', static_cast<std::int8_t>(hlevel), probe.latency,
+             static_cast<std::int8_t>(21 + (4 - hlevel))});
+    }
+    hpa_out = leafPa(probe.pte, probe.size, hva);
+    return true;
+}
+
+bool
+DmtVirtFetcher::walkTwoRef(Addr gva, WalkRecord &rec)
+{
+    // Reference 1: the guest PTE, directly at its host-physical
+    // address through the gTEA table.
+    const DirectProbe probe =
+        directProbe(guestRegs_, hostMem_, caches_, gva, gteaTable_);
+    if (probe.faulted)
+        ++fetcherStats_.isolationFaults;
+    if (!probe.matched || !probe.present)
+        return false;
+    rec.latency += probe.latency;
+    ++rec.seqRefs;
+    rec.parallelRefs += probe.probes - 1;
+    if (recordSteps_) {
+        const int glevel = RadixPageTable::leafLevel(probe.size);
+        rec.steps.push_back(
+            {'g', static_cast<std::int8_t>(glevel), probe.latency,
+             static_cast<std::int8_t>(5 * (4 - glevel) + 5)});
+    }
+    const Addr dataGpa = leafPa(probe.pte, probe.size, gva);
+    rec.size = probe.size;
+
+    // Reference 2: the host PTE of the data page.
+    Addr hpa = 0;
+    if (!hostFetch(dataGpa, rec, hpa))
+        return false;
+    rec.pa = hpa;
+    return true;
+}
+
+bool
+DmtVirtFetcher::walkThreeRef(Addr gva, WalkRecord &rec)
+{
+    // The guest registers give the gPA of the guest PTE; each
+    // size-class chain needs a host fetch (ref 1) before the guest
+    // PTE itself can be read (ref 2). Chains for different page
+    // sizes proceed in parallel; the phase costs the slowest chain.
+    const DmtRegister *matches[3];
+    const int n = guestRegs_.matchAll(gva, matches);
+    if (n == 0)
+        return false;
+
+    Cycles phase = 0;
+    int chains = 0;
+    bool found = false;
+    std::uint64_t leafPte = 0;
+    PageSize leafSize = PageSize::Size4K;
+    Cycles ref1Cost = 0, ref2Cost = 0;
+    for (int s = 0; s < 3; ++s) {
+        const DmtRegister *reg = matches[s];
+        if (!reg)
+            continue;
+        ++chains;
+        const Addr gPteGpa = reg->tea.pteAddr(gva);
+        // Ref 1: host PTE for the guest PTE's gPA.
+        const Addr hva = vm_.gpaToHva(gPteGpa);
+        const DirectProbe hprobe =
+            directProbe(hostRegs_, hostMem_, caches_, hva, nullptr);
+        if (!hprobe.matched || !hprobe.present)
+            return false;
+        const Addr gPteHpa = leafPa(hprobe.pte, hprobe.size, hva);
+        // Ref 2: the guest PTE itself.
+        const Cycles c2 = caches_.access(gPteHpa);
+        phase = std::max(phase, hprobe.latency + c2);
+        const std::uint64_t pte = hostMem_.read64(gPteHpa);
+        if (!pteIsPresent(pte))
+            continue;
+        const int level =
+            RadixPageTable::leafLevel(reg->tea.leafSize);
+        if (level > 1 && !pteIsHuge(pte))
+            continue;
+        found = true;
+        leafPte = pte;
+        leafSize = reg->tea.leafSize;
+        ref1Cost = hprobe.latency;
+        ref2Cost = c2;
+    }
+    if (!found)
+        return false;
+    rec.latency += phase;
+    rec.seqRefs += 2;
+    rec.parallelRefs += 2 * (chains - 1);
+    if (recordSteps_) {
+        rec.steps.push_back({'h', 1, ref1Cost});
+        rec.steps.push_back(
+            {'g', static_cast<std::int8_t>(
+                      RadixPageTable::leafLevel(leafSize)),
+             ref2Cost});
+    }
+    const Addr dataGpa = leafPa(leafPte, leafSize, gva);
+    rec.size = leafSize;
+
+    // Ref 3: host PTE for the data page.
+    Addr hpa = 0;
+    if (!hostFetch(dataGpa, rec, hpa))
+        return false;
+    rec.pa = hpa;
+    return true;
+}
+
+WalkRecord
+DmtVirtFetcher::walk(Addr gva)
+{
+    ++fetcherStats_.requests;
+    WalkRecord rec;
+    const bool ok = gteaTable_ ? walkTwoRef(gva, rec)
+                               : walkThreeRef(gva, rec);
+    if (!ok) {
+        ++fetcherStats_.fallbacks;
+        WalkRecord fb = fallback_.walk(gva);
+        fb.fellBack = true;
+        fb.latency += rec.latency;
+        return fb;
+    }
+    ++fetcherStats_.direct;
+    return rec;
+}
+
+Addr
+DmtVirtFetcher::resolve(Addr gva)
+{
+    const auto gtr = vm_.guestSpace().pageTable().translate(gva);
+    DMT_ASSERT(gtr.has_value(), "resolve: unmapped gva");
+    return vm_.gpaToHostPa(gtr->pa);
+}
+
+DmtNestedFetcher::DmtNestedFetcher(const DmtRegisterFile &l2_regs,
+                                   const DmtRegisterFile &l1_regs,
+                                   const DmtRegisterFile &l0_regs,
+                                   NestedStack &stack,
+                                   const Memory &l0_mem,
+                                   MemoryHierarchy &caches,
+                                   TranslationMechanism &fallback,
+                                   const GteaTable &l2_gtable,
+                                   const GteaTable &l1_gtable)
+    : l2Regs_(l2_regs), l1Regs_(l1_regs), l0Regs_(l0_regs),
+      stack_(stack), l0Mem_(l0_mem), caches_(caches),
+      fallback_(fallback), l2Gtable_(l2_gtable), l1Gtable_(l1_gtable)
+{
+}
+
+WalkRecord
+DmtNestedFetcher::walk(Addr l2va)
+{
+    ++fetcherStats_.requests;
+    WalkRecord rec;
+    bool ok = false;
+    do {
+        // Reference 1: L2 leaf PTE, L0-resident via the L2 gTEAs.
+        const DirectProbe p2 = directProbe(l2Regs_, l0Mem_, caches_,
+                                           l2va, &l2Gtable_);
+        if (p2.faulted)
+            ++fetcherStats_.isolationFaults;
+        if (!p2.matched || !p2.present)
+            break;
+        rec.latency += p2.latency;
+        ++rec.seqRefs;
+        rec.parallelRefs += p2.probes - 1;
+        if (recordSteps_)
+            rec.steps.push_back({'g', 2, p2.latency});
+        const Addr dataL2pa = leafPa(p2.pte, p2.size, l2va);
+        rec.size = p2.size;
+
+        // Reference 2: L1 container leaf PTE, L0-resident via the
+        // L1 gTEAs.
+        const Addr l1va = stack_.l2paToL1va(dataL2pa);
+        const DirectProbe p1 = directProbe(l1Regs_, l0Mem_, caches_,
+                                           l1va, &l1Gtable_);
+        if (p1.faulted)
+            ++fetcherStats_.isolationFaults;
+        if (!p1.matched || !p1.present)
+            break;
+        rec.latency += p1.latency;
+        ++rec.seqRefs;
+        rec.parallelRefs += p1.probes - 1;
+        if (recordSteps_)
+            rec.steps.push_back({'g', 1, p1.latency});
+        const Addr dataL1pa = leafPa(p1.pte, p1.size, l1va);
+
+        // Reference 3: L0 container leaf PTE (local TEAs).
+        const Addr hva = stack_.vm1().gpaToHva(dataL1pa);
+        const DirectProbe p0 = directProbe(l0Regs_, l0Mem_, caches_,
+                                           hva, nullptr);
+        if (!p0.matched || !p0.present)
+            break;
+        rec.latency += p0.latency;
+        ++rec.seqRefs;
+        rec.parallelRefs += p0.probes - 1;
+        if (recordSteps_)
+            rec.steps.push_back({'h', 1, p0.latency});
+        rec.pa = leafPa(p0.pte, p0.size, hva);
+        ok = true;
+    } while (false);
+
+    if (!ok) {
+        ++fetcherStats_.fallbacks;
+        WalkRecord fb = fallback_.walk(l2va);
+        fb.fellBack = true;
+        fb.latency += rec.latency;
+        return fb;
+    }
+    ++fetcherStats_.direct;
+    return rec;
+}
+
+Addr
+DmtNestedFetcher::resolve(Addr l2va)
+{
+    const auto tr = stack_.l2Space().pageTable().translate(l2va);
+    DMT_ASSERT(tr.has_value(), "resolve: unmapped L2 va");
+    return stack_.l2paToL0pa(tr->pa);
+}
+
+} // namespace dmt

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * The DMT fetcher (§4.1, Figure 10) — the hardware extension that
+ * serves TLB misses by fetching last-level PTEs directly:
+ *
+ *   native           : 1 memory reference
+ *   virtualized      : 3 references (DMT) / 2 references (pvDMT)
+ *   nested virt      : 3 references (pvDMT)
+ *
+ * When a VA is not covered by any register (or a PTE turns out not
+ * present), the walk falls back to the original x86 page walker that
+ * the fetcher co-exists with. With huge pages, a VMA may map to
+ * multiple TEAs (one per page-size class); the fetcher probes them in
+ * parallel and at most one holds a leaf PTE (§4.4).
+ */
+
+#ifndef DMT_CORE_DMT_FETCHER_HH
+#define DMT_CORE_DMT_FETCHER_HH
+
+#include <string>
+
+#include "core/dmt_registers.hh"
+#include "core/gtea_table.hh"
+#include "mem/memory_hierarchy.hh"
+#include "mem/physical_memory.hh"
+#include "pt/radix_page_table.hh"
+#include "sim/mechanism.hh"
+#include "virt/nested_stack.hh"
+#include "virt/virtual_machine.hh"
+
+namespace dmt
+{
+
+/** Runtime counters shared by all fetcher variants. */
+struct FetcherStats
+{
+    Counter requests = 0;    //!< walks requested
+    Counter direct = 0;      //!< served by register mappings
+    Counter fallbacks = 0;   //!< handed to the x86 walker
+    Counter isolationFaults = 0;  //!< pvDMT gTEA violations
+
+    /** Fraction of walk requests served directly (the paper's
+     *  "register coverage", expected 99+%). */
+    double
+    coverage() const
+    {
+        return requests ? static_cast<double>(direct) /
+                              static_cast<double>(requests)
+                        : 0.0;
+    }
+};
+
+/** Result of probing the TEAs matched by a register file. */
+struct DirectProbe
+{
+    bool matched = false;   //!< at least one register covered va
+    bool present = false;   //!< a leaf PTE was found
+    bool faulted = false;   //!< pvDMT isolation fault
+    std::uint64_t pte = 0;  //!< the leaf PTE value
+    PageSize size = PageSize::Size4K;
+    Addr pteAddr = 0;       //!< where the winning PTE was fetched
+    Cycles latency = 0;     //!< max over the parallel probes
+    int probes = 0;         //!< parallel requests issued
+};
+
+/**
+ * Probe every size-class TEA covering va in parallel: one dependent
+ * step, up to three parallel accesses.
+ *
+ * @param regs the register file to match against
+ * @param mem memory holding the PTEs at the probed addresses
+ * @param caches hierarchy to charge
+ * @param va the address being translated
+ * @param gtable gTEA table for pvDMT registers (nullptr natively)
+ */
+DirectProbe directProbe(const DmtRegisterFile &regs, const Memory &mem,
+                        MemoryHierarchy &caches, Addr va,
+                        const GteaTable *gtable);
+
+/** Native DMT: one memory reference per translation (§3, Fig. 7). */
+class DmtNativeFetcher : public TranslationMechanism
+{
+  public:
+    DmtNativeFetcher(const DmtRegisterFile &regs,
+                     const RadixPageTable &pt, const Memory &mem,
+                     MemoryHierarchy &caches,
+                     TranslationMechanism &fallback);
+
+    std::string name() const override { return "DMT"; }
+    WalkRecord walk(Addr va) override;
+    Addr resolve(Addr va) override;
+    void flush() override { fallback_.flush(); }
+
+    const FetcherStats &stats() const { return fetcherStats_; }
+
+  private:
+    const DmtRegisterFile &regs_;
+    const RadixPageTable &pt_;
+    const Memory &mem_;
+    MemoryHierarchy &caches_;
+    TranslationMechanism &fallback_;
+    FetcherStats fetcherStats_;
+};
+
+/**
+ * DMT for single-level virtualization (§3.1 / §4.5).
+ *
+ * Without paravirtualization: three dependent references (host PTE
+ * for the guest PTE's gPA, the guest PTE itself, host PTE for the
+ * data page). With pvDMT (pass a gTEA table): two references, the
+ * guest PTE being fetched directly at its host-physical address.
+ */
+class DmtVirtFetcher : public TranslationMechanism
+{
+  public:
+    DmtVirtFetcher(const DmtRegisterFile &guest_regs,
+                   const DmtRegisterFile &host_regs,
+                   VirtualMachine &vm, const Memory &host_mem,
+                   MemoryHierarchy &caches,
+                   TranslationMechanism &fallback,
+                   const GteaTable *gtea_table);
+
+    std::string
+    name() const override
+    {
+        return gteaTable_ ? "pvDMT" : "DMT";
+    }
+
+    WalkRecord walk(Addr gva) override;
+    Addr resolve(Addr gva) override;
+    void flush() override { fallback_.flush(); }
+
+    const FetcherStats &stats() const { return fetcherStats_; }
+
+  private:
+    /** The non-pv three-reference path. */
+    bool walkThreeRef(Addr gva, WalkRecord &rec);
+    /** The pvDMT two-reference path. */
+    bool walkTwoRef(Addr gva, WalkRecord &rec);
+    /** Final host-side fetch of the data page's hPTE. */
+    bool hostFetch(Addr gpa, WalkRecord &rec, Addr &hpa_out);
+
+    const DmtRegisterFile &guestRegs_;
+    const DmtRegisterFile &hostRegs_;
+    VirtualMachine &vm_;
+    const Memory &hostMem_;
+    MemoryHierarchy &caches_;
+    TranslationMechanism &fallback_;
+    const GteaTable *gteaTable_;
+    FetcherStats fetcherStats_;
+};
+
+/** pvDMT for nested virtualization: three references (§3.2/§4.5.3). */
+class DmtNestedFetcher : public TranslationMechanism
+{
+  public:
+    DmtNestedFetcher(const DmtRegisterFile &l2_regs,
+                     const DmtRegisterFile &l1_regs,
+                     const DmtRegisterFile &l0_regs,
+                     NestedStack &stack, const Memory &l0_mem,
+                     MemoryHierarchy &caches,
+                     TranslationMechanism &fallback,
+                     const GteaTable &l2_gtable,
+                     const GteaTable &l1_gtable);
+
+    std::string name() const override { return "Nested pvDMT"; }
+    WalkRecord walk(Addr l2va) override;
+    Addr resolve(Addr l2va) override;
+    void flush() override { fallback_.flush(); }
+
+    const FetcherStats &stats() const { return fetcherStats_; }
+
+  private:
+    const DmtRegisterFile &l2Regs_;
+    const DmtRegisterFile &l1Regs_;
+    const DmtRegisterFile &l0Regs_;
+    NestedStack &stack_;
+    const Memory &l0Mem_;
+    MemoryHierarchy &caches_;
+    TranslationMechanism &fallback_;
+    const GteaTable &l2Gtable_;
+    const GteaTable &l1Gtable_;
+    FetcherStats fetcherStats_;
+};
+
+} // namespace dmt
+
+#endif // DMT_CORE_DMT_FETCHER_HH

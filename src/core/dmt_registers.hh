@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The DMT register file (§4.1, Figure 13).
+ *
+ * Each core holds 16 registers per translation level (native, guest,
+ * nested); each register encodes one VMA-to-TEA mapping: the covered
+ * VA range, the page-size class (SZ), the TEA base frame, a present
+ * bit, and — for pvDMT — the gTEA ID indirecting through the
+ * host-maintained gTEA table. The registers are part of the task
+ * state and are reloaded by the OS on context switches.
+ */
+
+#ifndef DMT_CORE_DMT_REGISTERS_HH
+#define DMT_CORE_DMT_REGISTERS_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+#include "core/tea.hh"
+
+namespace dmt
+{
+
+/** Architectural content of one DMT register. */
+struct DmtRegister
+{
+    bool present = false;  //!< P bit; clear during TEA migration
+    /** Covered VA range, TEA base, and SZ, all carried by the TEA
+     *  descriptor. In pvDMT mode the base frame is *host*-physical
+     *  resolution via the gTEA table instead. */
+    Tea tea;
+    /** pvDMT: index into the guest's gTEA table; -1 when unused. */
+    int gteaId = -1;
+};
+
+/** A per-level file of 16 VMA-to-TEA mapping registers. */
+class DmtRegisterFile
+{
+  public:
+    static constexpr int capacity = 16;
+
+    /**
+     * Load a mapping into a free slot.
+     * @return the slot index, or -1 if the file is full.
+     */
+    int
+    load(const DmtRegister &reg)
+    {
+        for (int i = 0; i < capacity; ++i) {
+            if (!regs_[i].present) {
+                regs_[i] = reg;
+                regs_[i].present = true;
+                return i;
+            }
+        }
+        return -1;
+    }
+
+    /** Invalidate one slot. */
+    void
+    clear(int slot)
+    {
+        regs_[slot].present = false;
+    }
+
+    /** Invalidate every slot (context switch away). */
+    void
+    clearAll()
+    {
+        for (auto &r : regs_)
+            r.present = false;
+    }
+
+    /**
+     * Find the register of the given size class covering va.
+     * @return the register, or nullptr.
+     */
+    const DmtRegister *
+    match(Addr va, PageSize size) const
+    {
+        for (const auto &r : regs_) {
+            if (r.present && r.tea.leafSize == size &&
+                r.tea.covers(va)) {
+                return &r;
+            }
+        }
+        return nullptr;
+    }
+
+    /**
+     * Collect all registers covering va, one per size class at most
+     * (the multi-TEA parallel-probe case of §4.4).
+     *
+     * @param out array of 3 pointers indexed by PageSize
+     * @return number of matches
+     */
+    int
+    matchAll(Addr va, const DmtRegister *out[3]) const
+    {
+        int n = 0;
+        for (int s = 0; s < 3; ++s)
+            out[s] = nullptr;
+        for (const auto &r : regs_) {
+            if (r.present && r.tea.covers(va)) {
+                const int s = static_cast<int>(r.tea.leafSize);
+                if (!out[s]) {
+                    out[s] = &r;
+                    ++n;
+                }
+            }
+        }
+        return n;
+    }
+
+    /** Number of occupied slots. */
+    int
+    used() const
+    {
+        int n = 0;
+        for (const auto &r : regs_)
+            n += r.present ? 1 : 0;
+        return n;
+    }
+
+    const DmtRegister &at(int slot) const { return regs_[slot]; }
+
+  private:
+    std::array<DmtRegister, capacity> regs_{};
+};
+
+} // namespace dmt
+
+#endif // DMT_CORE_DMT_REGISTERS_HH

@@ -1,0 +1,67 @@
+#include "core/gtea_table.hh"
+
+#include "common/log.hh"
+
+namespace dmt
+{
+
+int
+GteaTable::add(Pfn host_base_pfn, std::uint64_t pages)
+{
+    DMT_ASSERT(pages > 0, "empty gTEA");
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        if (!entries_[i].valid) {
+            entries_[i] = {host_base_pfn, pages, true};
+            return static_cast<int>(i);
+        }
+    }
+    entries_.push_back({host_base_pfn, pages, true});
+    return static_cast<int>(entries_.size() - 1);
+}
+
+void
+GteaTable::remove(int id)
+{
+    // Idempotent: revoking an already-invalid ID is a no-op (the
+    // host may tear down a guest's entries in any order).
+    if (id < 0 || static_cast<std::size_t>(id) >= entries_.size())
+        return;
+    entries_[id].valid = false;
+}
+
+std::optional<Addr>
+GteaTable::resolvePte(int id, std::uint64_t pte_index) const
+{
+    if (id < 0 || static_cast<std::size_t>(id) >= entries_.size() ||
+        !entries_[id].valid) {
+        ++faults_;
+        return std::nullopt;
+    }
+    const GteaEntry &e = entries_[id];
+    if (pte_index >= e.pages * ptesPerPage) {
+        ++faults_;
+        return std::nullopt;
+    }
+    return (e.hostBasePfn << pageShift) + pte_index * pteSize;
+}
+
+const GteaEntry *
+GteaTable::entry(int id) const
+{
+    if (id < 0 || static_cast<std::size_t>(id) >= entries_.size() ||
+        !entries_[id].valid) {
+        return nullptr;
+    }
+    return &entries_[id];
+}
+
+std::size_t
+GteaTable::liveEntries() const
+{
+    std::size_t n = 0;
+    for (const auto &e : entries_)
+        n += e.valid ? 1 : 0;
+    return n;
+}
+
+} // namespace dmt

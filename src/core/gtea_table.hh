@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The gTEA table (§4.5.2, Figure 13) — the host-maintained, guest
+ * read-only table that lists the host-physical base and size of every
+ * gTEA belonging to one guest VM.
+ *
+ * Isolation: the guest's DMT registers carry only gTEA IDs; the
+ * fetcher resolves them through this table, so a guest can never
+ * point the MMU at an arbitrary host physical address (the EPTP-
+ * switching-like restriction). An invalid ID or an out-of-bounds
+ * index raises a host-side fault.
+ */
+
+#ifndef DMT_CORE_GTEA_TABLE_HH
+#define DMT_CORE_GTEA_TABLE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dmt
+{
+
+/** Host-side descriptor of one gTEA. */
+struct GteaEntry
+{
+    Pfn hostBasePfn = 0;        //!< host-physical base of the run
+    std::uint64_t pages = 0;    //!< run length in 4 KB frames
+    bool valid = false;
+};
+
+/** Per-guest gTEA table. */
+class GteaTable
+{
+  public:
+    /**
+     * Register a gTEA run.
+     * @return the assigned gTEA ID.
+     */
+    int add(Pfn host_base_pfn, std::uint64_t pages);
+
+    /** Invalidate an entry (TEA freed). */
+    void remove(int id);
+
+    /**
+     * Resolve a PTE fetch through the table with full isolation
+     * checking.
+     *
+     * @param id the gTEA ID from the guest register
+     * @param pte_index index of the PTE inside the gTEA
+     * @return host-physical address of the PTE, or nullopt if the ID
+     *         is invalid or the index is out of bounds (host fault)
+     */
+    std::optional<Addr> resolvePte(int id,
+                                   std::uint64_t pte_index) const;
+
+    /** @return the entry for an ID, if valid. */
+    const GteaEntry *entry(int id) const;
+
+    /** Number of live entries. */
+    std::size_t liveEntries() const;
+
+    /** Isolation violations detected so far (host faults). */
+    Counter faults() const { return faults_; }
+
+  private:
+    std::vector<GteaEntry> entries_;
+    mutable Counter faults_ = 0;
+};
+
+} // namespace dmt
+
+#endif // DMT_CORE_GTEA_TABLE_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Analytic hardware-cost model for the DMT fetcher (§6.3).
+ *
+ * The paper uses CACTI 7 at 22 nm to estimate the extension's cost:
+ * 16 registers of 192 architectural bits plus fetch logic add
+ * 4.87 mW of leakage and 0.03 mm^2 per MMU. We encode those anchors
+ * and scale linearly in register-file bits for the ablation sweeps
+ * (register count is the only sized structure; the fetch logic is a
+ * fixed small adder/comparator block).
+ */
+
+#ifndef DMT_CORE_HW_COST_HH
+#define DMT_CORE_HW_COST_HH
+
+namespace dmt
+{
+
+/** Estimated hardware cost of one DMT fetcher. */
+struct HwCost
+{
+    double leakageMilliWatts;
+    double areaMm2;
+};
+
+/** Paper anchors for the default 16-register configuration. */
+constexpr double anchorLeakageMw = 4.87;
+constexpr double anchorAreaMm2 = 0.03;
+constexpr int anchorRegisters = 16;
+/** Fraction of the anchor attributable to fixed fetch logic. */
+constexpr double fixedLogicFraction = 0.35;
+
+/**
+ * @param registers registers per file (x3 files: native/guest/nested)
+ * @return estimated per-MMU cost
+ */
+constexpr HwCost
+estimateDmtHardwareCost(int registers)
+{
+    const double regScale =
+        static_cast<double>(registers) / anchorRegisters;
+    const double variable = 1.0 - fixedLogicFraction;
+    const double factor =
+        fixedLogicFraction + variable * regScale;
+    return {anchorLeakageMw * factor, anchorAreaMm2 * factor};
+}
+
+/** Reference CPU envelope (Intel Xeon Gold 6138). */
+constexpr double xeonTdpWatts = 125.0;
+constexpr double xeonDieMm2 = 694.0;
+
+} // namespace dmt
+
+#endif // DMT_CORE_HW_COST_HH

@@ -1,0 +1,234 @@
+#include "core/mapping_manager.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace dmt
+{
+
+MappingManager::MappingManager(AddressSpace &space, TeaManager &teas,
+                               DmtRegisterFile &regs,
+                               MappingConfig config)
+    : space_(space), teas_(teas), regs_(regs), config_(config)
+{
+    space_.vmas().addObserver(this);
+    // Reload the registers when a TEA first gains a table page (its
+    // P bit turns on).
+    teas_.setUsageCallback([this] {
+        if (!inReconcile_)
+            syncRegisters();
+    });
+    reconcile();
+}
+
+std::vector<VmaCluster>
+MappingManager::clusterVmas(const std::vector<Vma> &vmas,
+                            double bubble_threshold)
+{
+    std::vector<VmaCluster> clusters;
+    for (const Vma &vma : vmas) {
+        if (!clusters.empty()) {
+            VmaCluster &last = clusters.back();
+            const Addr gap = vma.base - last.end;
+            const Addr newSpan = vma.end() - last.base;
+            const Addr newBubbles = last.bubbleBytes() + gap;
+            if (static_cast<double>(newBubbles) <=
+                bubble_threshold * static_cast<double>(newSpan)) {
+                last.end = vma.end();
+                last.vmaBytes += vma.size;
+                ++last.members;
+                continue;
+            }
+        }
+        clusters.push_back(
+            {vma.base, vma.end(), vma.size, /*members=*/1});
+    }
+    return clusters;
+}
+
+void
+MappingManager::onVmaCreated(const Vma &)
+{
+    if (!inReconcile_)
+        reconcile();
+}
+
+void
+MappingManager::onVmaDestroyed(const Vma &)
+{
+    if (!inReconcile_)
+        reconcile();
+}
+
+void
+MappingManager::onVmaResized(const Vma &, const Vma &)
+{
+    if (!inReconcile_)
+        reconcile();
+}
+
+std::vector<std::pair<Addr, Addr>>
+MappingManager::desiredCoverage(PageSize size) const
+{
+    const Addr span =
+        RadixPageTable::spanBytes(RadixPageTable::leafLevel(size));
+    std::vector<std::pair<Addr, Addr>> intervals;
+    for (const VmaCluster &c : clusters_) {
+        const Addr base = c.base & ~(span - 1);
+        const Addr end = (c.end + span - 1) & ~(span - 1);
+        if (!intervals.empty() && base <= intervals.back().second) {
+            // Aligned coverages of nearby clusters can overlap by one
+            // span; union them (a TEA set must not overlap).
+            intervals.back().second =
+                std::max(intervals.back().second, end);
+        } else {
+            intervals.emplace_back(base, end);
+        }
+    }
+    return intervals;
+}
+
+void
+MappingManager::createWithSplitting(Addr base, Addr end,
+                                    PageSize size, int depth)
+{
+    if (base >= end)
+        return;
+    if (teas_.createTea(base, end - base, size))
+        return;
+    const Addr span =
+        RadixPageTable::spanBytes(RadixPageTable::leafLevel(size));
+    if (end - base <= span || depth > 40) {
+        // A single-span TEA could not be placed: this piece of the
+        // VMA falls back to scattered tables and the x86 walker.
+        ++mappingStats_.uncovered;
+        return;
+    }
+    ++mappingStats_.splits;
+    Addr mid = (base + (end - base) / 2) & ~(span - 1);
+    if (mid <= base)
+        mid = base + span;
+    createWithSplitting(base, mid, size, depth + 1);
+    createWithSplitting(mid, end, size, depth + 1);
+}
+
+void
+MappingManager::reconcileSize(PageSize size)
+{
+    const auto desired = desiredCoverage(size);
+
+    // Current TEAs of this size class, by value: reconciliation
+    // mutates the TEA set, which would invalidate pointers.
+    std::vector<Tea> current;
+    for (const Tea *tea : teas_.all()) {
+        if (tea->leafSize == size)
+            current.push_back(*tea);
+    }
+
+    // Delete any TEA not fully inside a desired interval.
+    std::vector<Tea> kept;
+    for (const Tea &tea : current) {
+        const bool inside = std::any_of(
+            desired.begin(), desired.end(), [&](const auto &iv) {
+                return tea.coverBase >= iv.first &&
+                       tea.coverEnd() <= iv.second;
+            });
+        if (inside) {
+            kept.push_back(tea);
+        } else {
+            teas_.deleteTea(tea.coverBase, size);
+        }
+    }
+
+    for (const auto &[base, end] : desired) {
+        // TEAs inside this interval, in address order.
+        std::vector<Tea> inside;
+        for (const Tea &tea : kept) {
+            if (tea.coverBase >= base && tea.coverEnd() <= end)
+                inside.push_back(tea);
+        }
+        if (inside.empty()) {
+            createWithSplitting(base, end, size, 0);
+            continue;
+        }
+        // Exact tiling (e.g. an earlier split) is left alone.
+        bool tiles = inside.front().coverBase == base &&
+                     inside.back().coverEnd() == end;
+        for (std::size_t i = 0; tiles && i + 1 < inside.size(); ++i)
+            tiles = inside[i].coverEnd() == inside[i + 1].coverBase;
+        if (tiles)
+            continue;
+        // Otherwise collapse to one TEA: keep the largest, resize it.
+        std::size_t largest = 0;
+        for (std::size_t i = 1; i < inside.size(); ++i) {
+            if (inside[i].coverBytes > inside[largest].coverBytes)
+                largest = i;
+        }
+        const Addr largestBase = inside[largest].coverBase;
+        for (std::size_t i = 0; i < inside.size(); ++i) {
+            if (i != largest)
+                teas_.deleteTea(inside[i].coverBase, size);
+        }
+        if (!teas_.resizeTea(largestBase, size, base, end - base)) {
+            teas_.deleteTea(largestBase, size);
+            createWithSplitting(base, end, size, 0);
+        }
+    }
+}
+
+void
+MappingManager::syncRegisters()
+{
+    regs_.clearAll();
+    std::vector<const Tea *> all = teas_.all();
+    // Largest VMAs (coverages) get priority for the 16 registers.
+    std::sort(all.begin(), all.end(),
+              [](const Tea *a, const Tea *b) {
+                  if (a->coverBytes != b->coverBytes)
+                      return a->coverBytes > b->coverBytes;
+                  return a->coverBase < b->coverBase;
+              });
+    int loaded = 0;
+    for (const Tea *tea : all) {
+        if (loaded >= config_.maxRegisters)
+            break;
+        // A TEA with no table pages yet has nothing to fetch: its
+        // register stays not-present until first use (§4.4 only maps
+        // the size classes a VMA actually contains).
+        if (teas_.tablesInUse(tea->coverBase, tea->leafSize) == 0)
+            continue;
+        DmtRegister reg;
+        reg.tea = *tea;
+        const TeaBacking *backing =
+            teas_.backingOf(tea->coverBase, tea->leafSize);
+        DMT_ASSERT(backing != nullptr, "TEA without backing");
+        reg.gteaId = backing->gteaId;
+        regs_.load(reg);
+        ++loaded;
+    }
+}
+
+void
+MappingManager::reconcile()
+{
+    DMT_ASSERT(!inReconcile_, "reentrant reconcile");
+    inReconcile_ = true;
+    ++mappingStats_.reconciles;
+
+    clusters_ = clusterVmas(space_.vmas().all(),
+                            config_.bubbleThreshold);
+    Counter merged = 0;
+    for (const VmaCluster &c : clusters_)
+        merged += c.members > 1 ? 1 : 0;
+    mappingStats_.merges = merged;
+
+    if (config_.tea4k)
+        reconcileSize(PageSize::Size4K);
+    if (config_.tea2m)
+        reconcileSize(PageSize::Size2M);
+    syncRegisters();
+    inReconcile_ = false;
+}
+
+} // namespace dmt

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * VMA-to-TEA mapping management (§4.2).
+ *
+ * Watches a process's VMA tree and keeps the TEA set and the DMT
+ * register file in sync:
+ *
+ *  - clusters adjacent VMAs when the resulting bubble ratio stays
+ *    under a configurable threshold (2 % by default, §4.2.1);
+ *  - creates one TEA per cluster per enabled page-size class, with
+ *    span-aligned coverage;
+ *  - splits a mapping in half, recursively, when contiguous TEA
+ *    allocation fails (§4.2.2);
+ *  - accommodates VMA growth/shrink by expanding or migrating TEAs
+ *    (§4.2.3);
+ *  - loads the largest mappings into the 16 registers (§4.1).
+ */
+
+#ifndef DMT_CORE_MAPPING_MANAGER_HH
+#define DMT_CORE_MAPPING_MANAGER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "core/dmt_registers.hh"
+#include "core/tea_manager.hh"
+#include "os/address_space.hh"
+
+namespace dmt
+{
+
+/** A cluster of adjacent VMAs covered by one mapping. */
+struct VmaCluster
+{
+    Addr base = 0;        //!< first VMA's base
+    Addr end = 0;         //!< last VMA's end
+    Addr vmaBytes = 0;    //!< sum of member VMA sizes
+    int members = 0;      //!< number of VMAs in the cluster
+
+    Addr span() const { return end - base; }
+    Addr bubbleBytes() const { return span() - vmaBytes; }
+
+    double
+    bubbleRatio() const
+    {
+        return span() ? static_cast<double>(bubbleBytes()) /
+                            static_cast<double>(span())
+                      : 0.0;
+    }
+};
+
+/** Tunables for the mapping policy. */
+struct MappingConfig
+{
+    /** Maximum bubble ratio t for clustering (§4.2.1). */
+    double bubbleThreshold = 0.02;
+    /** Maintain 4 KB-PTE TEAs. */
+    bool tea4k = true;
+    /** Maintain 2 MB-PTE TEAs (enable together with THP). */
+    bool tea2m = false;
+    /** Registers available (hardware provides 16). */
+    int maxRegisters = DmtRegisterFile::capacity;
+};
+
+/** Counters describing mapping-management work (§6.3). */
+struct MappingStats
+{
+    Counter reconciles = 0;
+    Counter merges = 0;       //!< cluster-merge events
+    Counter splits = 0;       //!< TEA splits due to alloc failure
+    Counter uncovered = 0;    //!< desired pieces with no TEA at all
+};
+
+/** Keeps TEAs and DMT registers consistent with a VMA tree. */
+class MappingManager : public VmaObserver
+{
+  public:
+    /**
+     * @param space the process whose VMAs are tracked
+     * @param teas the TEA manager placing its leaf tables
+     * @param regs the register file to load
+     */
+    MappingManager(AddressSpace &space, TeaManager &teas,
+                   DmtRegisterFile &regs, MappingConfig config = {});
+
+    /**
+     * Recompute clusters, reconcile the TEA set, and reload the
+     * registers. Invoked automatically on every VMA event; call
+     * manually after attaching to a space with pre-existing VMAs.
+     */
+    void reconcile();
+
+    /** Current clusters (all of them; the Table 1 metric keeps
+     *  only those needed to cover 99 % of the mapped bytes). */
+    const std::vector<VmaCluster> &clusters() const
+    {
+        return clusters_;
+    }
+
+    const MappingStats &stats() const { return mappingStats_; }
+    const MappingConfig &config() const { return config_; }
+
+    // VmaObserver:
+    void onVmaCreated(const Vma &vma) override;
+    void onVmaDestroyed(const Vma &vma) override;
+    void onVmaResized(const Vma &old_vma, const Vma &new_vma) override;
+
+    /**
+     * Compute the clustering of a VMA list under a bubble threshold
+     * (exposed statically for the Table 1 / Figure 5 experiment).
+     */
+    static std::vector<VmaCluster> clusterVmas(
+        const std::vector<Vma> &vmas, double bubble_threshold);
+
+  private:
+    /** Span-aligned desired coverage intervals for one size class. */
+    std::vector<std::pair<Addr, Addr>> desiredCoverage(
+        PageSize size) const;
+
+    /** Make the TEA set for one size class match the desired set. */
+    void reconcileSize(PageSize size);
+
+    /** Create TEAs for [base, end), splitting on failure. */
+    void createWithSplitting(Addr base, Addr end, PageSize size,
+                             int depth);
+
+    /** Reload the register file from the current TEA set. */
+    void syncRegisters();
+
+    AddressSpace &space_;
+    TeaManager &teas_;
+    DmtRegisterFile &regs_;
+    MappingConfig config_;
+    std::vector<VmaCluster> clusters_;
+    MappingStats mappingStats_;
+    bool inReconcile_ = false;
+};
+
+} // namespace dmt
+
+#endif // DMT_CORE_MAPPING_MANAGER_HH

@@ -1,0 +1,57 @@
+#include "core/register_encoding.hh"
+
+#include "common/log.hh"
+
+namespace dmt
+{
+
+namespace
+{
+constexpr std::uint64_t vpnMask = 0xfffffffffffff000ull;
+} // namespace
+
+DmtRegisterImage
+packDmtRegister(const DmtRegister &reg)
+{
+    const Tea &tea = reg.tea;
+    DMT_ASSERT((tea.coverBase & ~vpnMask) == 0,
+               "VMA base must be page aligned");
+    const auto sz = static_cast<std::uint64_t>(tea.leafSize);
+    DMT_ASSERT(sz < 4, "SZ field is two bits");
+    const std::uint64_t sizePages =
+        tea.coverBytes >> pageShiftOf(tea.leafSize);
+    DMT_ASSERT(sizePages < (1ull << 48), "VMA size field overflow");
+    DMT_ASSERT(reg.gteaId >= -1 && reg.gteaId < 0xffff,
+               "gTEA ID field overflow");
+
+    DmtRegisterImage image{};
+    image[0] = (tea.coverBase & vpnMask) | ((sz & 1) << 1) |
+               (reg.present ? 1 : 0);
+    image[1] = ((tea.basePfn << pageShift) & vpnMask) |
+               (((sz >> 1) & 1) << 1);
+    // gTEA ID 0xffff encodes "none" (-1).
+    const std::uint64_t id =
+        reg.gteaId < 0 ? 0xffffull
+                       : static_cast<std::uint64_t>(reg.gteaId);
+    image[2] = (sizePages << 16) | id;
+    return image;
+}
+
+DmtRegister
+unpackDmtRegister(const DmtRegisterImage &image)
+{
+    DmtRegister reg;
+    reg.present = (image[0] & 1) != 0;
+    const std::uint64_t sz =
+        ((image[0] >> 1) & 1) | (((image[1] >> 1) & 1) << 1);
+    reg.tea.leafSize = static_cast<PageSize>(sz);
+    reg.tea.coverBase = image[0] & vpnMask;
+    reg.tea.basePfn = (image[1] & vpnMask) >> pageShift;
+    reg.tea.coverBytes =
+        (image[2] >> 16) << pageShiftOf(reg.tea.leafSize);
+    const std::uint64_t id = image[2] & 0xffffull;
+    reg.gteaId = id == 0xffffull ? -1 : static_cast<int>(id);
+    return reg;
+}
+
+} // namespace dmt

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Bit-level encoding of a DMT register (Figure 13).
+ *
+ * The architectural register is 192 bits (three 64-bit words):
+ *
+ *   word 0: [63:12] VMA base VPN      [11:2] reserved
+ *           [1]     SZ low bit        [0] P (present)
+ *   word 1: [63:12] TEA base PFN      [11:2] reserved
+ *           [1]     SZ high bit       [0] reserved
+ *   word 2: [63:16] VMA size (pages of SZ)  [15:0] gTEA ID
+ *
+ * The OS-facing DmtRegister struct is the decoded form; this module
+ * provides the pack/unpack pair so the task-state save/restore path
+ * (and tests) can verify that everything the fetcher needs truly
+ * fits in the paper's three words. The gTEA-table base pointer is a
+ * per-guest (not per-register) quantity and lives in its own MSR.
+ */
+
+#ifndef DMT_CORE_REGISTER_ENCODING_HH
+#define DMT_CORE_REGISTER_ENCODING_HH
+
+#include <array>
+#include <cstdint>
+
+#include "core/dmt_registers.hh"
+
+namespace dmt
+{
+
+/** The architectural 192-bit image of one DMT register. */
+using DmtRegisterImage = std::array<std::uint64_t, 3>;
+
+/** Pack a register into its architectural image. */
+DmtRegisterImage packDmtRegister(const DmtRegister &reg);
+
+/** Decode an architectural image. */
+DmtRegister unpackDmtRegister(const DmtRegisterImage &image);
+
+} // namespace dmt
+
+#endif // DMT_CORE_REGISTER_ENCODING_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Translation Entry Area (TEA) — the contiguous physical region that
+ * holds the last-level PTEs of one VMA (or VMA cluster), §3 / §4.3.
+ *
+ * A TEA is *not* a copy of anything: its pages are the radix tree's
+ * own leaf table pages, placed contiguously. One 4 KB TEA page holds
+ * the 512 leaf PTEs covering one table span (2 MB of VA for 4 KB
+ * pages, 1 GB for 2 MB pages). A TEA therefore covers the VMA's
+ * span-aligned envelope, and the DMT fetcher can index it directly:
+ *
+ *   pteAddr = teaBase + ((va - coverBase) >> pageShift(size)) * 8
+ */
+
+#ifndef DMT_CORE_TEA_HH
+#define DMT_CORE_TEA_HH
+
+#include "common/types.hh"
+#include "pt/radix_page_table.hh"
+
+namespace dmt
+{
+
+/** One contiguous Translation Entry Area. */
+struct Tea
+{
+    Addr coverBase = 0;   //!< VA start, aligned to the table span
+    Addr coverBytes = 0;  //!< multiple of the table span
+    PageSize leafSize = PageSize::Size4K;  //!< PTE size class held
+    Pfn basePfn = 0;      //!< base of the contiguous physical run
+
+    /** Radix level of the table pages this TEA hosts. */
+    int
+    tableLevel() const
+    {
+        return RadixPageTable::leafLevel(leafSize);
+    }
+
+    /** VA bytes covered by one TEA page. */
+    Addr
+    spanBytes() const
+    {
+        return RadixPageTable::spanBytes(tableLevel());
+    }
+
+    /** Number of 4 KB table pages in the TEA. */
+    std::uint64_t
+    pages() const
+    {
+        return coverBytes / spanBytes();
+    }
+
+    Addr coverEnd() const { return coverBase + coverBytes; }
+
+    bool
+    covers(Addr va) const
+    {
+        return va >= coverBase && va < coverEnd();
+    }
+
+    /** Frame hosting the table page that covers va. */
+    Pfn
+    frameFor(Addr va) const
+    {
+        return basePfn + (va - coverBase) / spanBytes();
+    }
+
+    /** Physical byte address of the leaf PTE for va. */
+    Addr
+    pteAddr(Addr va) const
+    {
+        const Addr index =
+            (va - coverBase) >> pageShiftOf(leafSize);
+        return (basePfn << pageShift) + index * pteSize;
+    }
+};
+
+} // namespace dmt
+
+#endif // DMT_CORE_TEA_HH

@@ -1,0 +1,331 @@
+#include "core/tea_manager.hh"
+
+#include "common/log.hh"
+
+namespace dmt
+{
+
+std::optional<TeaBacking>
+LocalTeaSource::alloc(std::uint64_t pages)
+{
+    const auto base =
+        allocator_.allocContig(pages, FrameKind::PageTable);
+    if (!base)
+        return std::nullopt;
+    TeaBacking backing;
+    backing.basePfn = *base;
+    backing.pages = pages;
+    return backing;
+}
+
+void
+LocalTeaSource::free(const TeaBacking &backing)
+{
+    allocator_.freeContig(backing.basePfn, backing.pages);
+}
+
+bool
+LocalTeaSource::expand(TeaBacking &backing, std::uint64_t extra)
+{
+    if (!allocator_.expandInPlace(backing.basePfn, backing.pages,
+                                  extra, FrameKind::PageTable)) {
+        return false;
+    }
+    backing.pages += extra;
+    return true;
+}
+
+TeaManager::TeaManager(RadixPageTable &pt, TeaFrameSource &source)
+    : pt_(pt), source_(source)
+{
+    pt_.setFrameProvider(this);
+}
+
+TeaManager::~TeaManager()
+{
+    // Move every live table out of TEA frames, then release the runs,
+    // so the page table never dangles into freed memory.
+    for (auto &[key, rec] : teas_) {
+        evictSpans(rec);
+        source_.free(rec.backing);
+    }
+    teas_.clear();
+    pt_.setFrameProvider(nullptr);
+}
+
+TeaManager::Record *
+TeaManager::findRecord(Addr cover_base, PageSize leaf_size)
+{
+    auto it = teas_.find(
+        {RadixPageTable::leafLevel(leaf_size), cover_base});
+    return it == teas_.end() ? nullptr : &it->second;
+}
+
+const TeaManager::Record *
+TeaManager::findRecord(Addr cover_base, PageSize leaf_size) const
+{
+    auto it = teas_.find(
+        {RadixPageTable::leafLevel(leaf_size), cover_base});
+    return it == teas_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t
+TeaManager::adoptSpans(Record &rec)
+{
+    std::uint64_t moved = 0;
+    const int level = rec.tea.tableLevel();
+    const Addr span = rec.tea.spanBytes();
+    const std::uint64_t before = rec.tablesInUse;
+    for (Addr va = rec.tea.coverBase; va < rec.tea.coverEnd();
+         va += span) {
+        const auto cur = pt_.tableFrameAt(va, level);
+        if (!cur)
+            continue;
+        const Pfn want = rec.tea.frameFor(va);
+        if (*cur == want)
+            continue;
+        pt_.relocateLeafTable(va, level, want);
+        ++rec.tablesInUse;
+        ++moved;
+    }
+    stats_.adoptedTables += moved;
+    if (before == 0 && rec.tablesInUse > 0 && usageCallback_)
+        usageCallback_();
+    return moved;
+}
+
+void
+TeaManager::evictSpans(const Record &rec)
+{
+    const int level = rec.tea.tableLevel();
+    const Addr span = rec.tea.spanBytes();
+    for (Addr va = rec.tea.coverBase; va < rec.tea.coverEnd();
+         va += span) {
+        const auto cur = pt_.tableFrameAt(va, level);
+        if (!cur)
+            continue;
+        const Pfn offset = *cur - rec.backing.basePfn;
+        if (*cur >= rec.backing.basePfn &&
+            offset < rec.backing.pages) {
+            pt_.relocateLeafTableToScattered(va, level);
+        }
+    }
+}
+
+const Tea *
+TeaManager::createTea(Addr cover_base, Addr cover_bytes,
+                      PageSize leaf_size)
+{
+    const int level = RadixPageTable::leafLevel(leaf_size);
+    const Addr span = RadixPageTable::spanBytes(level);
+    DMT_ASSERT((cover_base % span) == 0 && (cover_bytes % span) == 0,
+               "TEA bounds must be span aligned");
+    DMT_ASSERT(cover_bytes > 0, "TEA must be non-empty");
+    // Overlap with an existing same-level TEA is a caller bug: the
+    // mapping manager unions coverages first.
+    for (const auto &[key, rec] : teas_) {
+        if (key.first != level)
+            continue;
+        if (cover_base < rec.tea.coverEnd() &&
+            rec.tea.coverBase < cover_base + cover_bytes) {
+            panic("createTea: overlapping TEA coverage");
+        }
+    }
+    const std::uint64_t pages = cover_bytes / span;
+    auto backing = source_.alloc(pages);
+    if (!backing) {
+        ++stats_.allocFailures;
+        return nullptr;
+    }
+    Record rec;
+    rec.tea.coverBase = cover_base;
+    rec.tea.coverBytes = cover_bytes;
+    rec.tea.leafSize = leaf_size;
+    rec.tea.basePfn = backing->basePfn;
+    rec.backing = *backing;
+    auto [it, inserted] =
+        teas_.emplace(Key{level, cover_base}, rec);
+    DMT_ASSERT(inserted, "duplicate TEA key");
+    ++stats_.creates;
+    adoptSpans(it->second);
+    return &it->second.tea;
+}
+
+void
+TeaManager::deleteTea(Addr cover_base, PageSize leaf_size)
+{
+    auto it = teas_.find(
+        {RadixPageTable::leafLevel(leaf_size), cover_base});
+    if (it == teas_.end())
+        panic("deleteTea: no TEA at 0x%llx",
+              static_cast<unsigned long long>(cover_base));
+    evictSpans(it->second);
+    source_.free(it->second.backing);
+    teas_.erase(it);
+    ++stats_.deletes;
+}
+
+const Tea *
+TeaManager::resizeTea(Addr old_cover_base, PageSize leaf_size,
+                      Addr new_cover_base, Addr new_cover_bytes)
+{
+    const int level = RadixPageTable::leafLevel(leaf_size);
+    const Addr span = RadixPageTable::spanBytes(level);
+    DMT_ASSERT((new_cover_base % span) == 0 &&
+                   (new_cover_bytes % span) == 0,
+               "TEA bounds must be span aligned");
+    Record *rec = findRecord(old_cover_base, leaf_size);
+    DMT_ASSERT(rec != nullptr, "resizeTea: TEA not found");
+
+    if (new_cover_base == rec->tea.coverBase &&
+        new_cover_bytes == rec->tea.coverBytes) {
+        return &rec->tea;
+    }
+
+    // Tail growth: try the in-place fast path first (§4.3).
+    if (new_cover_base == rec->tea.coverBase &&
+        new_cover_bytes > rec->tea.coverBytes) {
+        const std::uint64_t extra =
+            (new_cover_bytes - rec->tea.coverBytes) / span;
+        if (source_.expand(rec->backing, extra)) {
+            rec->tea.coverBytes = new_cover_bytes;
+            ++stats_.expandsInPlace;
+            adoptSpans(*rec);
+            return &rec->tea;
+        }
+    }
+
+    // General case: allocate a new run and migrate. (DMT-Linux does
+    // this asynchronously with the P bit cleared; we migrate eagerly
+    // and count the work.)
+    const std::uint64_t newPages = new_cover_bytes / span;
+    auto backing = source_.alloc(newPages);
+    if (!backing) {
+        ++stats_.allocFailures;
+        return nullptr;
+    }
+    Record moved;
+    moved.tea.coverBase = new_cover_base;
+    moved.tea.coverBytes = new_cover_bytes;
+    moved.tea.leafSize = leaf_size;
+    moved.tea.basePfn = backing->basePfn;
+    moved.backing = *backing;
+
+    const TeaBacking oldBacking = rec->backing;
+    const Tea oldTea = rec->tea;
+    teas_.erase({level, old_cover_base});
+    auto [it, inserted] =
+        teas_.emplace(Key{level, new_cover_base}, moved);
+    DMT_ASSERT(inserted, "resizeTea: target key occupied");
+
+    // Any span of the old TEA now outside the new coverage must be
+    // evicted; everything else is adopted into the new run.
+    const std::uint64_t adopted = adoptSpans(it->second);
+    for (Addr va = oldTea.coverBase; va < oldTea.coverEnd();
+         va += span) {
+        if (it->second.tea.covers(va))
+            continue;
+        const auto cur = pt_.tableFrameAt(va, level);
+        if (cur && *cur >= oldBacking.basePfn &&
+            *cur - oldBacking.basePfn < oldBacking.pages) {
+            pt_.relocateLeafTableToScattered(va, level);
+        }
+    }
+    source_.free(oldBacking);
+    ++stats_.migrations;
+    stats_.migratedTablePages += adopted;
+    return &it->second.tea;
+}
+
+const Tea *
+TeaManager::lookup(Addr va, PageSize leaf_size) const
+{
+    const int level = RadixPageTable::leafLevel(leaf_size);
+    // Find the last TEA with coverBase <= va at this level.
+    auto it = teas_.upper_bound({level, va});
+    if (it == teas_.begin())
+        return nullptr;
+    --it;
+    if (it->first.first != level || !it->second.tea.covers(va))
+        return nullptr;
+    return &it->second.tea;
+}
+
+const TeaBacking *
+TeaManager::backingOf(Addr cover_base, PageSize leaf_size) const
+{
+    const Record *rec = findRecord(cover_base, leaf_size);
+    return rec ? &rec->backing : nullptr;
+}
+
+std::vector<const Tea *>
+TeaManager::all() const
+{
+    std::vector<const Tea *> out;
+    out.reserve(teas_.size());
+    for (const auto &[key, rec] : teas_)
+        out.push_back(&rec.tea);
+    return out;
+}
+
+std::uint64_t
+TeaManager::reservedPages() const
+{
+    std::uint64_t total = 0;
+    for (const auto &[key, rec] : teas_)
+        total += rec.backing.pages;
+    return total;
+}
+
+std::optional<Pfn>
+TeaManager::provideTableFrame(int level, Addr span_base)
+{
+    // Find the TEA of this level covering the span.
+    auto it = teas_.upper_bound({level, span_base});
+    if (it == teas_.begin())
+        return std::nullopt;
+    --it;
+    if (it->first.first != level ||
+        !it->second.tea.covers(span_base)) {
+        return std::nullopt;
+    }
+    ++it->second.tablesInUse;
+    if (it->second.tablesInUse == 1 && usageCallback_)
+        usageCallback_();
+    return it->second.tea.frameFor(span_base);
+}
+
+void
+TeaManager::releaseTableFrame(int level, Addr span_base, Pfn pfn)
+{
+    // The frame stays reserved inside its TEA run (eager allocation);
+    // nothing returns to the system, but the owning TEA's usage
+    // count drops. Matching is by *frame*, not by covered span: a
+    // frame freed during migration belongs to the old backing (whose
+    // record is already gone), and must not debit the new TEA.
+    (void)level;
+    (void)span_base;
+    for (auto &[key, rec] : teas_) {
+        if (pfn >= rec.backing.basePfn &&
+            pfn - rec.backing.basePfn < rec.backing.pages) {
+            if (rec.tablesInUse > 0)
+                --rec.tablesInUse;
+            return;
+        }
+    }
+}
+
+std::uint64_t
+TeaManager::tablesInUse(Addr cover_base, PageSize leaf_size) const
+{
+    const Record *rec = findRecord(cover_base, leaf_size);
+    return rec ? rec->tablesInUse : 0;
+}
+
+void
+TeaManager::setUsageCallback(std::function<void()> callback)
+{
+    usageCallback_ = std::move(callback);
+}
+
+} // namespace dmt

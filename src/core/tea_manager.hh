@@ -1,0 +1,194 @@
+/**
+ * @file
+ * TEA management (§4.3): creation, deletion, expansion, shrinking,
+ * and migration of Translation Entry Areas, plus the page-table
+ * placement hook that makes the radix tree's leaf tables land inside
+ * them.
+ *
+ * Frames come from a pluggable TeaFrameSource: plain contiguous buddy
+ * allocation natively, or the KVM_HC_ALLOC_TEA hypercall under pvDMT
+ * (which returns guest frames that are *host*-contiguous).
+ */
+
+#ifndef DMT_CORE_TEA_MANAGER_HH
+#define DMT_CORE_TEA_MANAGER_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+#include "core/tea.hh"
+#include "os/buddy_allocator.hh"
+#include "pt/radix_page_table.hh"
+
+namespace dmt
+{
+
+/** Physical backing of one TEA. */
+struct TeaBacking
+{
+    Pfn basePfn = 0;      //!< base frame in the page table's PA space
+    std::uint64_t pages = 0;
+    int gteaId = -1;      //!< pvDMT: gTEA table slot; -1 natively
+    Pfn hostBasePfn = 0;  //!< pvDMT: host-physical base of the run
+};
+
+/** Where TEA frames come from. */
+class TeaFrameSource
+{
+  public:
+    virtual ~TeaFrameSource() = default;
+
+    /** Allocate a contiguous run of table frames. */
+    virtual std::optional<TeaBacking> alloc(std::uint64_t pages) = 0;
+
+    /** Release a run. */
+    virtual void free(const TeaBacking &backing) = 0;
+
+    /**
+     * Try to extend a run in place by `extra` frames.
+     * @return true on success (backing.pages is updated).
+     */
+    virtual bool expand(TeaBacking &backing, std::uint64_t extra) = 0;
+};
+
+/** TEA frames straight from the local contiguous page allocator. */
+class LocalTeaSource : public TeaFrameSource
+{
+  public:
+    explicit LocalTeaSource(BuddyAllocator &allocator)
+        : allocator_(allocator)
+    {
+    }
+
+    std::optional<TeaBacking> alloc(std::uint64_t pages) override;
+    void free(const TeaBacking &backing) override;
+    bool expand(TeaBacking &backing, std::uint64_t extra) override;
+
+  private:
+    BuddyAllocator &allocator_;
+};
+
+/** Runtime counters for §6.3's overhead accounting. */
+struct TeaStats
+{
+    Counter creates = 0;
+    Counter deletes = 0;
+    Counter expandsInPlace = 0;
+    Counter migrations = 0;        //!< whole-TEA migrations
+    Counter migratedTablePages = 0;
+    Counter allocFailures = 0;     //!< contiguity failures seen
+    Counter adoptedTables = 0;     //!< scattered tables pulled in
+};
+
+/**
+ * Owns all TEAs of one address space and implements the page-table
+ * frame placement policy over them.
+ */
+class TeaManager : public TableFrameProvider
+{
+  public:
+    /**
+     * @param pt the page table whose leaf tables are being placed
+     * @param source where contiguous frame runs come from
+     */
+    TeaManager(RadixPageTable &pt, TeaFrameSource &source);
+
+    ~TeaManager() override;
+
+    TeaManager(const TeaManager &) = delete;
+    TeaManager &operator=(const TeaManager &) = delete;
+
+    /**
+     * Create a TEA covering [cover_base, cover_base + cover_bytes)
+     * for the given leaf size. Both bounds must be span aligned.
+     * Existing leaf tables inside the region are migrated in.
+     *
+     * @return the TEA, or nullptr if contiguous allocation failed
+     *         (the caller then splits the mapping, §4.2.2).
+     */
+    const Tea *createTea(Addr cover_base, Addr cover_bytes,
+                         PageSize leaf_size);
+
+    /**
+     * Delete the TEA at cover_base. Any leaf tables still alive are
+     * migrated back out to scattered frames first.
+     */
+    void deleteTea(Addr cover_base, PageSize leaf_size);
+
+    /**
+     * Grow or re-base a TEA so it covers the given (span-aligned)
+     * range, expanding in place when possible and migrating
+     * otherwise (§4.3).
+     *
+     * @return the resulting TEA, or nullptr on allocation failure.
+     */
+    const Tea *resizeTea(Addr old_cover_base, PageSize leaf_size,
+                         Addr new_cover_base, Addr new_cover_bytes);
+
+    /** @return the TEA of the given size class covering va. */
+    const Tea *lookup(Addr va, PageSize leaf_size) const;
+
+    /** pvDMT backing details for a TEA. */
+    const TeaBacking *backingOf(Addr cover_base,
+                                PageSize leaf_size) const;
+
+    /** All current TEAs (for register loading). */
+    std::vector<const Tea *> all() const;
+
+    /** Number of page-table pages currently living inside a TEA. */
+    std::uint64_t tablesInUse(Addr cover_base,
+                              PageSize leaf_size) const;
+
+    /**
+     * Register a callback fired when a TEA first becomes non-empty
+     * (its conceptual P bit turns on) — the mapping manager uses it
+     * to refresh the register file.
+     */
+    void setUsageCallback(std::function<void()> callback);
+
+    /** Total table frames reserved by TEAs (4 KB units). */
+    std::uint64_t reservedPages() const;
+
+    const TeaStats &stats() const { return stats_; }
+
+    // TableFrameProvider:
+    std::optional<Pfn> provideTableFrame(int level,
+                                         Addr span_base) override;
+    void releaseTableFrame(int level, Addr span_base,
+                           Pfn pfn) override;
+
+  private:
+    struct Record
+    {
+        Tea tea;
+        TeaBacking backing;
+        std::uint64_t tablesInUse = 0;
+    };
+
+    using Key = std::pair<int, Addr>;  //!< (table level, coverBase)
+
+    /** Pull any existing leaf table for each covered span into the
+     *  TEA's frames. @return number of tables moved. */
+    std::uint64_t adoptSpans(Record &rec);
+
+    /** Move live tables out of a TEA to scattered frames. */
+    void evictSpans(const Record &rec);
+
+    Record *findRecord(Addr cover_base, PageSize leaf_size);
+    const Record *findRecord(Addr cover_base,
+                             PageSize leaf_size) const;
+
+    RadixPageTable &pt_;
+    TeaFrameSource &source_;
+    std::map<Key, Record> teas_;
+    TeaStats stats_;
+    std::function<void()> usageCallback_;
+};
+
+} // namespace dmt
+
+#endif // DMT_CORE_TEA_MANAGER_HH

@@ -1,0 +1,119 @@
+#include "mem/cache.hh"
+
+#include <bit>
+
+#include "common/log.hh"
+
+namespace dmt
+{
+
+Cache::Cache(const CacheConfig &config) : config_(config)
+{
+    DMT_ASSERT(config.lineBytes > 0 &&
+                   std::has_single_bit(
+                       static_cast<unsigned>(config.lineBytes)),
+               "line size must be a power of two");
+    DMT_ASSERT(config.associativity > 0, "associativity must be > 0");
+    const Addr lines = config.sizeBytes / config.lineBytes;
+    DMT_ASSERT(lines % config.associativity == 0,
+               "cache size must divide evenly into sets");
+    numSets_ = lines / config.associativity;
+    DMT_ASSERT(numSets_ > 0 && std::has_single_bit(numSets_),
+               "number of sets must be a power of two");
+    lineShift_ = std::countr_zero(
+        static_cast<unsigned>(config.lineBytes));
+    ways_.resize(numSets_ * config.associativity);
+}
+
+std::size_t
+Cache::setIndex(Addr addr) const
+{
+    return (addr >> lineShift_) & (numSets_ - 1);
+}
+
+Addr
+Cache::tagOf(Addr addr) const
+{
+    return addr >> lineShift_;
+}
+
+bool
+Cache::access(Addr addr)
+{
+    const std::size_t base = setIndex(addr) * config_.associativity;
+    const Addr tag = tagOf(addr);
+    ++tick_;
+    for (int w = 0; w < config_.associativity; ++w) {
+        Way &way = ways_[base + w];
+        if (way.valid && way.tag == tag) {
+            way.lastUse = tick_;
+            ++hits_;
+            return true;
+        }
+    }
+    ++misses_;
+    return false;
+}
+
+void
+Cache::insert(Addr addr)
+{
+    const std::size_t base = setIndex(addr) * config_.associativity;
+    const Addr tag = tagOf(addr);
+    ++tick_;
+    Way *victim = nullptr;
+    for (int w = 0; w < config_.associativity; ++w) {
+        Way &way = ways_[base + w];
+        if (way.valid && way.tag == tag) {
+            way.lastUse = tick_;
+            return;  // already resident
+        }
+        if (!way.valid) {
+            if (!victim || victim->valid)
+                victim = &way;
+        } else if (!victim ||
+                   (victim->valid && way.lastUse < victim->lastUse)) {
+            victim = &way;
+        }
+    }
+    DMT_ASSERT(victim != nullptr, "no victim way found");
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUse = tick_;
+}
+
+void
+Cache::invalidate(Addr addr)
+{
+    const std::size_t base = setIndex(addr) * config_.associativity;
+    const Addr tag = tagOf(addr);
+    for (int w = 0; w < config_.associativity; ++w) {
+        Way &way = ways_[base + w];
+        if (way.valid && way.tag == tag) {
+            way.valid = false;
+            return;
+        }
+    }
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    const std::size_t base = setIndex(addr) * config_.associativity;
+    const Addr tag = tagOf(addr);
+    for (int w = 0; w < config_.associativity; ++w) {
+        const Way &way = ways_[base + w];
+        if (way.valid && way.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (auto &way : ways_)
+        way.valid = false;
+}
+
+} // namespace dmt

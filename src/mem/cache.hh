@@ -1,0 +1,82 @@
+/**
+ * @file
+ * A functional set-associative cache with LRU replacement.
+ *
+ * This models hit/miss behaviour only; latency is charged by the
+ * MemoryHierarchy based on which level hits. Used for L1D, L2, and the
+ * shared LLC (Table 3 of the paper).
+ */
+
+#ifndef DMT_MEM_CACHE_HH
+#define DMT_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dmt
+{
+
+/** Configuration of one cache level. */
+struct CacheConfig
+{
+    std::string name;       //!< for stats/debugging
+    Addr sizeBytes;         //!< total capacity
+    int associativity;      //!< ways per set
+    int lineBytes = 64;     //!< cache line size
+    Cycles roundTrip = 0;   //!< access latency when this level hits
+};
+
+/** Set-associative cache with true-LRU replacement. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config);
+
+    /**
+     * Look up a line; on hit, the line is promoted to MRU.
+     * @return true on hit.
+     */
+    bool access(Addr addr);
+
+    /** Insert the line containing addr, evicting the LRU way. */
+    void insert(Addr addr);
+
+    /** Invalidate the line containing addr if present. */
+    void invalidate(Addr addr);
+
+    /** @return true if the line is resident (no LRU update). */
+    bool probe(Addr addr) const;
+
+    /** Drop all contents. */
+    void flush();
+
+    const CacheConfig &config() const { return config_; }
+    Counter hits() const { return hits_; }
+    Counter misses() const { return misses_; }
+
+  private:
+    struct Way
+    {
+        Addr tag = invalidAddr;
+        std::uint64_t lastUse = 0;  //!< LRU timestamp
+        bool valid = false;
+    };
+
+    std::size_t setIndex(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+
+    CacheConfig config_;
+    std::size_t numSets_;
+    int lineShift_;
+    std::vector<Way> ways_;  //!< numSets_ * associativity, set-major
+    std::uint64_t tick_ = 0;
+    Counter hits_ = 0;
+    Counter misses_ = 0;
+};
+
+} // namespace dmt
+
+#endif // DMT_MEM_CACHE_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Abstract word-addressable memory interface.
+ *
+ * Page tables are built against this interface rather than against
+ * PhysicalMemory directly so that a *guest* page table can store its
+ * entries in guest-physical space: a view object translates each
+ * guest-physical access into the backing host-physical access. That is
+ * exactly how nested paging composes on real hardware, and it lets the
+ * same RadixPageTable implementation serve every virtualization level.
+ */
+
+#ifndef DMT_MEM_MEMORY_HH
+#define DMT_MEM_MEMORY_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace dmt
+{
+
+/** Word-addressable memory (physical, or a translated view). */
+class Memory
+{
+  public:
+    virtual ~Memory() = default;
+
+    /** Read an aligned 64-bit word; unwritten words read as zero. */
+    virtual std::uint64_t read64(Addr pa) const = 0;
+
+    /** Write an aligned 64-bit word. */
+    virtual void write64(Addr pa, std::uint64_t value) = 0;
+
+    /** Zero-fill an aligned byte range. */
+    virtual void
+    zeroRange(Addr pa, Addr bytes)
+    {
+        for (Addr off = 0; off < bytes; off += 8)
+            write64(pa + off, 0);
+    }
+
+    /** Copy a non-overlapping aligned byte range. */
+    virtual void
+    copyRange(Addr dst, Addr src, Addr bytes)
+    {
+        for (Addr off = 0; off < bytes; off += 8)
+            write64(dst + off, read64(src + off));
+    }
+};
+
+} // namespace dmt
+
+#endif // DMT_MEM_MEMORY_HH

@@ -1,0 +1,89 @@
+#include "mem/memory_hierarchy.hh"
+
+namespace dmt
+{
+
+MemoryHierarchy::MemoryHierarchy(const HierarchyConfig &config)
+    : config_(config),
+      l1d_(std::make_unique<Cache>(config.l1d)),
+      l2_(std::make_unique<Cache>(config.l2)),
+      llc_(std::make_unique<Cache>(config.llc))
+{
+}
+
+Cycles
+MemoryHierarchy::access(Addr pa)
+{
+    HitLevel level;
+    return access(pa, level);
+}
+
+Cycles
+MemoryHierarchy::access(Addr pa, HitLevel &level)
+{
+    ++accesses_;
+    if (l1d_->access(pa)) {
+        level = HitLevel::L1;
+        return config_.l1d.roundTrip;
+    }
+    if (l2_->access(pa)) {
+        l1d_->insert(pa);
+        level = HitLevel::L2;
+        return config_.l2.roundTrip;
+    }
+    if (llc_->access(pa)) {
+        l2_->insert(pa);
+        l1d_->insert(pa);
+        level = HitLevel::LLC;
+        return config_.llc.roundTrip;
+    }
+    ++memAccesses_;
+    llc_->insert(pa);
+    l2_->insert(pa);
+    l1d_->insert(pa);
+    level = HitLevel::Memory;
+    return config_.memoryRoundTrip;
+}
+
+Cycles
+MemoryHierarchy::accessClean(Addr pa)
+{
+    ++accesses_;
+    if (l1d_->access(pa))
+        return config_.l1d.roundTrip;
+    if (l2_->access(pa))
+        return config_.l2.roundTrip;
+    if (llc_->access(pa))
+        return config_.llc.roundTrip;
+    ++memAccesses_;
+    return config_.memoryRoundTrip;
+}
+
+void
+MemoryHierarchy::prefetch(Addr pa)
+{
+    // Prefetches fill L2 and LLC but not L1, mirroring how hardware
+    // PTE prefetchers (ASAP) avoid polluting the small L1.
+    if (!llc_->access(pa))
+        llc_->insert(pa);
+    if (!l2_->access(pa))
+        l2_->insert(pa);
+}
+
+void
+MemoryHierarchy::invalidate(Addr pa)
+{
+    l1d_->invalidate(pa);
+    l2_->invalidate(pa);
+    llc_->invalidate(pa);
+}
+
+void
+MemoryHierarchy::flush()
+{
+    l1d_->flush();
+    l2_->flush();
+    llc_->flush();
+}
+
+} // namespace dmt

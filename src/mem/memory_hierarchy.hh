@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Three-level cache hierarchy plus main memory, with the round-trip
+ * latencies of the paper's Table 3 (Intel Xeon Gold 6138):
+ *
+ *   L1D  32 KB / 8-way,  4 cycles RT
+ *   L2    1 MB / 16-way, 14 cycles RT
+ *   LLC  22 MB / 11-way, 54 cycles RT
+ *   DRAM               200 cycles RT
+ *
+ * Both data accesses and page-walk PTE accesses go through this
+ * hierarchy, so PTE cacheability — the effect at the heart of the
+ * paper's Figure 16 — emerges from workload behaviour.
+ */
+
+#ifndef DMT_MEM_MEMORY_HIERARCHY_HH
+#define DMT_MEM_MEMORY_HIERARCHY_HH
+
+#include <memory>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/cache.hh"
+
+namespace dmt
+{
+
+/** Configuration for the full hierarchy. */
+struct HierarchyConfig
+{
+    CacheConfig l1d{"l1d", 32 * 1024, 8, 64, 4};
+    CacheConfig l2{"l2", 1024 * 1024, 16, 64, 14};
+    CacheConfig llc{"llc", 22 * 1024 * 1024, 11, 64, 54};
+    Cycles memoryRoundTrip = 200;
+};
+
+/** Which level of the hierarchy served an access. */
+enum class HitLevel
+{
+    L1,
+    L2,
+    LLC,
+    Memory,
+};
+
+/** The cache hierarchy; charges cycles per physical access. */
+class MemoryHierarchy
+{
+  public:
+    explicit MemoryHierarchy(const HierarchyConfig &config = {});
+
+    /**
+     * Perform one physical memory access (fills all levels on miss).
+     *
+     * @param pa physical address
+     * @return the round-trip latency in cycles
+     */
+    Cycles access(Addr pa);
+
+    /** Like access() but also reports which level hit. */
+    Cycles access(Addr pa, HitLevel &level);
+
+    /**
+     * Charge an access without allocating on miss (losing parallel
+     * probes: their data is discarded, so real hardware would not
+     * keep the line; in the scaled-down hierarchy the fills would
+     * otherwise be a disproportionate pollution source).
+     */
+    Cycles accessClean(Addr pa);
+
+    /**
+     * Warm a line into the hierarchy without charging latency to the
+     * caller (used by the ASAP prefetcher model).
+     */
+    void prefetch(Addr pa);
+
+    /** Invalidate a line everywhere (e.g. after PTE migration). */
+    void invalidate(Addr pa);
+
+    /** Drop all cached content. */
+    void flush();
+
+    const Cache &l1d() const { return *l1d_; }
+    const Cache &l2() const { return *l2_; }
+    const Cache &llc() const { return *llc_; }
+    const HierarchyConfig &config() const { return config_; }
+
+    Counter accesses() const { return accesses_; }
+    Counter memoryAccesses() const { return memAccesses_; }
+
+  private:
+    HierarchyConfig config_;
+    std::unique_ptr<Cache> l1d_;
+    std::unique_ptr<Cache> l2_;
+    std::unique_ptr<Cache> llc_;
+    Counter accesses_ = 0;
+    Counter memAccesses_ = 0;
+};
+
+} // namespace dmt
+
+#endif // DMT_MEM_MEMORY_HIERARCHY_HH

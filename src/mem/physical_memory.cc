@@ -1,0 +1,64 @@
+#include "mem/physical_memory.hh"
+
+#include "common/log.hh"
+
+namespace dmt
+{
+
+PhysicalMemory::PhysicalMemory(Addr size_bytes) : size_(size_bytes)
+{
+    DMT_ASSERT(size_bytes > 0, "physical memory must be non-empty");
+}
+
+void
+PhysicalMemory::checkAccess(Addr pa) const
+{
+    if (pa + 8 > size_)
+        panic("physical access 0x%llx beyond memory size 0x%llx",
+              static_cast<unsigned long long>(pa),
+              static_cast<unsigned long long>(size_));
+    if (pa & 7)
+        panic("unaligned 64-bit physical access at 0x%llx",
+              static_cast<unsigned long long>(pa));
+}
+
+std::uint64_t
+PhysicalMemory::read64(Addr pa) const
+{
+    checkAccess(pa);
+    auto it = words_.find(pa);
+    return it == words_.end() ? 0 : it->second;
+}
+
+void
+PhysicalMemory::write64(Addr pa, std::uint64_t value)
+{
+    checkAccess(pa);
+    if (value == 0) {
+        words_.erase(pa);
+    } else {
+        words_[pa] = value;
+    }
+}
+
+void
+PhysicalMemory::zeroRange(Addr pa, Addr bytes)
+{
+    DMT_ASSERT((pa & 7) == 0 && (bytes & 7) == 0,
+               "zeroRange must be word aligned");
+    for (Addr off = 0; off < bytes; off += 8)
+        words_.erase(pa + off);
+}
+
+void
+PhysicalMemory::copyRange(Addr dst, Addr src, Addr bytes)
+{
+    DMT_ASSERT((dst & 7) == 0 && (src & 7) == 0 && (bytes & 7) == 0,
+               "copyRange must be word aligned");
+    DMT_ASSERT(dst + bytes <= src || src + bytes <= dst,
+               "copyRange ranges must not overlap");
+    for (Addr off = 0; off < bytes; off += 8)
+        write64(dst + off, read64(src + off));
+}
+
+} // namespace dmt

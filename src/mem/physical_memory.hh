@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Sparse simulated physical memory.
+ *
+ * Backing store for page tables, TEAs, and any other structure whose
+ * *content* the simulator must read back (the page walkers really read
+ * PTE values from here). Data pages do not need content, so the store
+ * only materialises words that were written.
+ */
+
+#ifndef DMT_MEM_PHYSICAL_MEMORY_HH
+#define DMT_MEM_PHYSICAL_MEMORY_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hh"
+#include "mem/memory.hh"
+
+namespace dmt
+{
+
+/** Word-addressable sparse physical memory. */
+class PhysicalMemory : public Memory
+{
+  public:
+    /**
+     * @param size_bytes total physical memory capacity; accesses beyond
+     *        it panic (they indicate a simulator bug, e.g. a walker
+     *        chasing a garbage pointer).
+     */
+    explicit PhysicalMemory(Addr size_bytes);
+
+    /** Read an aligned 64-bit word; unwritten words read as zero. */
+    std::uint64_t read64(Addr pa) const override;
+
+    /** Write an aligned 64-bit word. */
+    void write64(Addr pa, std::uint64_t value) override;
+
+    /** Zero-fill a byte range (e.g. a freshly allocated table page). */
+    void zeroRange(Addr pa, Addr bytes) override;
+
+    /**
+     * Move `bytes` bytes from src to dst (used by TEA migration).
+     * Ranges must not overlap.
+     */
+    void copyRange(Addr dst, Addr src, Addr bytes) override;
+
+    Addr size() const { return size_; }
+
+    /** @return true if pa is a valid address in this memory. */
+    bool contains(Addr pa) const { return pa < size_; }
+
+    /** @return the number of materialised (written, nonzero) words. */
+    std::size_t wordsInUse() const { return words_.size(); }
+
+  private:
+    void checkAccess(Addr pa) const;
+
+    Addr size_;
+    std::unordered_map<Addr, std::uint64_t> words_;
+};
+
+} // namespace dmt
+
+#endif // DMT_MEM_PHYSICAL_MEMORY_HH

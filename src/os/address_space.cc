@@ -1,0 +1,193 @@
+#include "os/address_space.hh"
+
+#include "common/log.hh"
+
+namespace dmt
+{
+
+AddressSpace::AddressSpace(Memory &mem, BuddyAllocator &allocator,
+                           AddressSpaceConfig config)
+    : mem_(mem), allocator_(allocator), config_(config),
+      pt_(mem, allocator, config.ptLevels)
+{
+}
+
+AddressSpace::~AddressSpace()
+{
+    // Free data frames before the page table tears itself down.
+    for (const auto &[pfn, where] : frameToVa_) {
+        const int order =
+            where.second == PageSize::Size2M ? 9 : 0;
+        allocator_.freePages(pfn, order);
+    }
+    frameToVa_.clear();
+}
+
+const Vma &
+AddressSpace::mmap(Addr size, VmaKind kind, bool populate)
+{
+    size = pageAlignUp(size);
+    const Addr base = vmas_.findFreeRange(config_.mmapBase, size);
+    return mmapAt(base, size, kind, populate);
+}
+
+const Vma &
+AddressSpace::mmapAt(Addr base, Addr size, VmaKind kind, bool populate)
+{
+    size = pageAlignUp(size);
+    const Vma &vma = vmas_.create(base, size, kind);
+    if (populate)
+        this->populate(vma);
+    return vma;
+}
+
+void
+AddressSpace::munmap(Addr base)
+{
+    const Vma *vma = vmas_.findByBase(base);
+    if (!vma)
+        panic("munmap: no VMA at 0x%llx",
+              static_cast<unsigned long long>(base));
+    releaseRange(vma->base, vma->size);
+    vmas_.destroy(base);
+}
+
+void
+AddressSpace::growVma(Addr base, Addr new_size, bool populate)
+{
+    vmas_.grow(base, new_size);
+    if (populate) {
+        const Vma *vma = vmas_.findByBase(base);
+        this->populate(*vma);
+    }
+}
+
+void
+AddressSpace::mapPage(Addr va, const Vma &vma)
+{
+    if (config_.thp == ThpMode::Always) {
+        const Addr hugeBase = pageAlignDown(va, PageSize::Size2M);
+        if (hugeBase >= vma.base &&
+            hugeBase + hugePageSize <= vma.end()) {
+            // The whole 2 MB region lies inside the VMA: try a huge
+            // frame; fall through to 4 KB on contiguity failure.
+            const auto frame =
+                allocator_.allocPages(9, FrameKind::Movable);
+            if (frame) {
+                pt_.map(hugeBase, *frame, PageSize::Size2M);
+                frameToVa_[*frame] = {hugeBase, PageSize::Size2M};
+                dataFrames_ += 512;
+                ++hugeMappings_;
+                return;
+            }
+        }
+    }
+    const Addr pageBase = pageAlignDown(va);
+    const auto frame = allocator_.allocPages(0, FrameKind::Movable);
+    if (!frame)
+        fatal("out of physical memory for data pages");
+    pt_.map(pageBase, *frame, PageSize::Size4K);
+    frameToVa_[*frame] = {pageBase, PageSize::Size4K};
+    ++dataFrames_;
+}
+
+bool
+AddressSpace::touch(Addr va)
+{
+    if (pt_.translate(va))
+        return false;
+    const Vma *vma = vmas_.find(va);
+    if (!vma)
+        panic("touch: segfault at 0x%llx (no VMA)",
+              static_cast<unsigned long long>(va));
+    mapPage(va, *vma);
+    return true;
+}
+
+void
+AddressSpace::populate(const Vma &vma)
+{
+    for (Addr va = vma.base; va < vma.end(); va += pageSize)
+        touch(va);
+}
+
+void
+AddressSpace::releaseRange(Addr base, Addr size)
+{
+    Addr va = base;
+    const Addr end = base + size;
+    while (va < end) {
+        const auto tr = pt_.translate(va);
+        if (!tr) {
+            va += pageSize;
+            continue;
+        }
+        const Addr bytes = pageBytesOf(tr->size);
+        const Addr pageBase = pageAlignDown(va, tr->size);
+        pt_.unmap(pageBase);
+        const int order = tr->size == PageSize::Size2M ? 9 : 0;
+        DMT_ASSERT(tr->size != PageSize::Size1G,
+                   "1 GB data pages are not allocated by this OS");
+        // Untracked frames were spliced in by someone else
+        // (replaceBacking) and stay owned by them.
+        if (frameToVa_.erase(tr->pfn) > 0) {
+            allocator_.freePages(tr->pfn, order);
+            dataFrames_ -= (order == 9) ? 512 : 1;
+            if (order == 9)
+                --hugeMappings_;
+        }
+        va = pageBase + bytes;
+    }
+}
+
+void
+AddressSpace::replaceBacking(Addr va, Pfn new_frame)
+{
+    auto tr = pt_.translate(va);
+    DMT_ASSERT(tr.has_value(), "replaceBacking: va 0x%llx unmapped",
+               static_cast<unsigned long long>(va));
+    if (tr->size == PageSize::Size2M) {
+        const Addr hugeVa = pageAlignDown(va, PageSize::Size2M);
+        const Pfn basePfn = tr->pfn;
+        const bool ok = pt_.demote2M(hugeVa);
+        DMT_ASSERT(ok, "demote2M failed in replaceBacking");
+        frameToVa_.erase(basePfn);
+        DMT_ASSERT(hugeMappings_ > 0, "huge mapping underflow");
+        --hugeMappings_;
+        for (int i = 0; i < 512; ++i) {
+            frameToVa_[basePfn + i] = {hugeVa + i * pageSize,
+                                       PageSize::Size4K};
+        }
+        tr = pt_.translate(va);
+    }
+    DMT_ASSERT(tr->size == PageSize::Size4K,
+               "replaceBacking expects 4 KB granularity");
+    const Addr pageVa = pageAlignDown(va);
+    const Pfn old = tr->pfn;
+    pt_.updateLeaf(pageVa, new_frame);
+    // Free the displaced frame only if this space owns it. An
+    // untracked frame was itself spliced in earlier (e.g. a prior
+    // gTEA grant re-pointed here) and stays owned by its splicer.
+    if (frameToVa_.erase(old) > 0) {
+        allocator_.freePages(old, 0);
+        DMT_ASSERT(dataFrames_ > 0, "data frame underflow");
+        --dataFrames_;
+    }
+}
+
+void
+AddressSpace::onFrameRelocated(Pfn from, Pfn to)
+{
+    auto it = frameToVa_.find(from);
+    if (it == frameToVa_.end())
+        return;  // frame belongs to another address space
+    const auto [va, size] = it->second;
+    DMT_ASSERT(size == PageSize::Size4K,
+               "compaction moves 4 KB frames only");
+    mem_.copyRange(to << pageShift, from << pageShift, pageSize);
+    pt_.updateLeaf(va, to);
+    frameToVa_.erase(it);
+    frameToVa_[to] = {va, size};
+}
+
+} // namespace dmt

@@ -1,0 +1,359 @@
+#include "os/buddy_allocator.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/log.hh"
+
+namespace dmt
+{
+
+BuddyAllocator::BuddyAllocator(Pfn num_frames, int max_order)
+    : numFrames_(num_frames), maxOrder_(max_order)
+{
+    DMT_ASSERT(num_frames > 0, "buddy allocator needs frames");
+    DMT_ASSERT(max_order >= 0 && max_order < 40, "bad max order");
+    freeLists_.resize(maxOrder_ + 1);
+    kinds_.assign(numFrames_, FrameKind::Free);
+    freeFrames_ = numFrames_;
+    // Seed the free lists with maximal aligned blocks. Bypass the
+    // accounting in freeFrameRange by building blocks directly.
+    Pfn base = 0;
+    std::uint64_t n = numFrames_;
+    while (n > 0) {
+        int order = maxOrder_;
+        if (base != 0) {
+            order = std::min<int>(order, std::countr_zero(base));
+        }
+        while ((std::uint64_t{1} << order) > n)
+            --order;
+        freeLists_[order].insert(base);
+        base += std::uint64_t{1} << order;
+        n -= std::uint64_t{1} << order;
+    }
+}
+
+void
+BuddyAllocator::setRelocationHook(RelocationHook hook)
+{
+    relocHook_ = std::move(hook);
+}
+
+FrameKind
+BuddyAllocator::kindOf(Pfn pfn) const
+{
+    DMT_ASSERT(pfn < numFrames_, "frame out of range");
+    return kinds_[pfn];
+}
+
+bool
+BuddyAllocator::isFree(Pfn pfn) const
+{
+    return kindOf(pfn) == FrameKind::Free;
+}
+
+std::size_t
+BuddyAllocator::freeBlocksAt(int order) const
+{
+    DMT_ASSERT(order >= 0 && order <= maxOrder_, "order out of range");
+    return freeLists_[order].size();
+}
+
+void
+BuddyAllocator::setKind(Pfn base, std::uint64_t n, FrameKind kind)
+{
+    DMT_ASSERT(base + n <= numFrames_, "range out of bounds");
+    for (std::uint64_t i = 0; i < n; ++i)
+        kinds_[base + i] = kind;
+}
+
+void
+BuddyAllocator::removeFreeBlock(Pfn base, int order)
+{
+    auto erased = freeLists_[order].erase(base);
+    DMT_ASSERT(erased == 1, "free block (0x%llx, order %d) not found",
+               static_cast<unsigned long long>(base), order);
+}
+
+void
+BuddyAllocator::insertFreeBlock(Pfn base, int order)
+{
+    // Coalesce with the buddy while possible.
+    while (order < maxOrder_) {
+        const Pfn buddy = base ^ (Pfn{1} << order);
+        if (buddy + (Pfn{1} << order) > numFrames_)
+            break;
+        auto it = freeLists_[order].find(buddy);
+        if (it == freeLists_[order].end())
+            break;
+        freeLists_[order].erase(it);
+        base = std::min(base, buddy);
+        ++order;
+    }
+    freeLists_[order].insert(base);
+}
+
+std::optional<Pfn>
+BuddyAllocator::allocPages(int order, FrameKind kind)
+{
+    DMT_ASSERT(order >= 0 && order <= maxOrder_, "order out of range");
+    DMT_ASSERT(kind != FrameKind::Free, "cannot allocate as Free");
+    int o = order;
+    while (o <= maxOrder_ && freeLists_[o].empty())
+        ++o;
+    if (o > maxOrder_)
+        return std::nullopt;
+    const Pfn base = *freeLists_[o].begin();
+    freeLists_[o].erase(freeLists_[o].begin());
+    // Split back down, returning the upper halves to the free lists.
+    while (o > order) {
+        --o;
+        freeLists_[o].insert(base + (Pfn{1} << o));
+    }
+    const std::uint64_t n = std::uint64_t{1} << order;
+    setKind(base, n, kind);
+    freeFrames_ -= n;
+    return base;
+}
+
+void
+BuddyAllocator::freePages(Pfn base, int order)
+{
+    DMT_ASSERT(order >= 0 && order <= maxOrder_, "order out of range");
+    const std::uint64_t n = std::uint64_t{1} << order;
+    DMT_ASSERT(base + n <= numFrames_, "free out of bounds");
+    for (std::uint64_t i = 0; i < n; ++i) {
+        DMT_ASSERT(kinds_[base + i] != FrameKind::Free,
+                   "double free of frame 0x%llx",
+                   static_cast<unsigned long long>(base + i));
+    }
+    setKind(base, n, FrameKind::Free);
+    freeFrames_ += n;
+    insertFreeBlock(base, order);
+}
+
+std::pair<Pfn, int>
+BuddyAllocator::findFreeBlockContaining(Pfn pfn) const
+{
+    for (int order = 0; order <= maxOrder_; ++order) {
+        const Pfn base = pfn & ~((Pfn{1} << order) - 1);
+        if (freeLists_[order].count(base))
+            return {base, order};
+    }
+    panic("frame 0x%llx marked free but not in any free list",
+          static_cast<unsigned long long>(pfn));
+}
+
+void
+BuddyAllocator::claimRange(Pfn start, Pfn end, FrameKind kind)
+{
+    Pfn i = start;
+    while (i < end) {
+        const auto [base, order] = findFreeBlockContaining(i);
+        removeFreeBlock(base, order);
+        const Pfn blockEnd = base + (Pfn{1} << order);
+        // Return the pieces of the block outside [start, end).
+        if (base < start) {
+            Pfn b = base;
+            std::uint64_t n = start - base;
+            while (n > 0) {
+                int o = std::min<int>(maxOrder_, std::countr_zero(b));
+                while ((std::uint64_t{1} << o) > n)
+                    --o;
+                insertFreeBlock(b, o);
+                b += Pfn{1} << o;
+                n -= std::uint64_t{1} << o;
+            }
+        }
+        if (blockEnd > end) {
+            Pfn b = end;
+            std::uint64_t n = blockEnd - end;
+            while (n > 0) {
+                int o = std::min<int>(maxOrder_, std::countr_zero(b));
+                while ((std::uint64_t{1} << o) > n)
+                    --o;
+                insertFreeBlock(b, o);
+                b += Pfn{1} << o;
+                n -= std::uint64_t{1} << o;
+            }
+        }
+        const Pfn claimFrom = std::max(base, start);
+        const Pfn claimTo = std::min(blockEnd, end);
+        setKind(claimFrom, claimTo - claimFrom, kind);
+        freeFrames_ -= claimTo - claimFrom;
+        i = blockEnd;
+    }
+}
+
+std::optional<Pfn>
+BuddyAllocator::allocContig(std::uint64_t n_pages, FrameKind kind)
+{
+    DMT_ASSERT(n_pages > 0, "zero-length contiguous allocation");
+    DMT_ASSERT(kind != FrameKind::Free, "cannot allocate as Free");
+    if (n_pages > freeFrames_)
+        return std::nullopt;
+    // First-fit scan over the frame kinds; runs of free frames are
+    // found by linear scan (contiguous allocations are infrequent).
+    Pfn i = 0;
+    while (i < numFrames_) {
+        if (kinds_[i] != FrameKind::Free) {
+            ++i;
+            continue;
+        }
+        Pfn runEnd = i;
+        while (runEnd < numFrames_ && runEnd - i < n_pages &&
+               kinds_[runEnd] == FrameKind::Free) {
+            ++runEnd;
+        }
+        if (runEnd - i >= n_pages) {
+            claimRange(i, i + n_pages, kind);
+            return i;
+        }
+        i = runEnd + 1;
+    }
+    return std::nullopt;
+}
+
+void
+BuddyAllocator::freeFrameRange(Pfn base, std::uint64_t n)
+{
+    setKind(base, n, FrameKind::Free);
+    freeFrames_ += n;
+    while (n > 0) {
+        int o = maxOrder_;
+        if (base != 0)
+            o = std::min<int>(o, std::countr_zero(base));
+        while ((std::uint64_t{1} << o) > n)
+            --o;
+        insertFreeBlock(base, o);
+        base += Pfn{1} << o;
+        n -= std::uint64_t{1} << o;
+    }
+}
+
+void
+BuddyAllocator::freeContig(Pfn base, std::uint64_t n_pages)
+{
+    DMT_ASSERT(base + n_pages <= numFrames_, "free out of bounds");
+    for (std::uint64_t i = 0; i < n_pages; ++i) {
+        DMT_ASSERT(kinds_[base + i] != FrameKind::Free,
+                   "double free in contiguous range");
+    }
+    freeFrameRange(base, n_pages);
+}
+
+bool
+BuddyAllocator::expandInPlace(Pfn base, std::uint64_t cur_pages,
+                              std::uint64_t extra_pages, FrameKind kind)
+{
+    const Pfn start = base + cur_pages;
+    const Pfn end = start + extra_pages;
+    if (end > numFrames_)
+        return false;
+    for (Pfn i = start; i < end; ++i) {
+        if (kinds_[i] != FrameKind::Free)
+            return false;
+    }
+    claimRange(start, end, kind);
+    return true;
+}
+
+void
+BuddyAllocator::shrinkInPlace(Pfn base, std::uint64_t cur_pages,
+                              std::uint64_t new_pages)
+{
+    DMT_ASSERT(new_pages <= cur_pages, "shrink cannot grow");
+    if (new_pages == cur_pages)
+        return;
+    freeFrameRange(base + new_pages, cur_pages - new_pages);
+}
+
+std::uint64_t
+BuddyAllocator::compact(std::uint64_t max_moves)
+{
+    std::uint64_t moves = 0;
+    Pfn freeFinger = 0;
+    Pfn moveFinger = numFrames_;
+    while (true) {
+        if (max_moves && moves >= max_moves)
+            break;
+        while (freeFinger < numFrames_ &&
+               kinds_[freeFinger] != FrameKind::Free) {
+            ++freeFinger;
+        }
+        while (moveFinger > 0 &&
+               kinds_[moveFinger - 1] != FrameKind::Movable) {
+            --moveFinger;
+        }
+        if (moveFinger == 0 || freeFinger >= moveFinger - 1)
+            break;
+        const Pfn src = moveFinger - 1;
+        const Pfn dst = freeFinger;
+        claimRange(dst, dst + 1, FrameKind::Movable);
+        if (relocHook_)
+            relocHook_(src, dst);
+        freeFrameRange(src, 1);
+        ++moves;
+    }
+    return moves;
+}
+
+double
+BuddyAllocator::fragmentationIndex(int order) const
+{
+    DMT_ASSERT(order >= 0 && order <= maxOrder_, "order out of range");
+    // If a block of at least the requested order is free, the request
+    // is satisfiable outright.
+    for (int o = order; o <= maxOrder_; ++o) {
+        if (!freeLists_[o].empty())
+            return -1.0;
+    }
+    std::uint64_t blocksTotal = 0;
+    for (int o = 0; o <= maxOrder_; ++o)
+        blocksTotal += freeLists_[o].size();
+    if (blocksTotal == 0)
+        return 1.0;  // out of memory entirely
+    const double requested =
+        static_cast<double>(std::uint64_t{1} << order);
+    const double fi =
+        1.0 - (1.0 + static_cast<double>(freeFrames_) / requested) /
+                  static_cast<double>(blocksTotal);
+    return std::clamp(fi, 0.0, 1.0);
+}
+
+void
+BuddyAllocator::checkConsistency() const
+{
+    std::vector<bool> covered(numFrames_, false);
+    std::uint64_t totalFree = 0;
+    for (int order = 0; order <= maxOrder_; ++order) {
+        const std::uint64_t n = std::uint64_t{1} << order;
+        for (Pfn base : freeLists_[order]) {
+            DMT_ASSERT((base & (n - 1)) == 0,
+                       "misaligned free block at order %d", order);
+            DMT_ASSERT(base + n <= numFrames_,
+                       "free block out of range");
+            for (std::uint64_t i = 0; i < n; ++i) {
+                DMT_ASSERT(!covered[base + i],
+                           "overlapping free blocks");
+                DMT_ASSERT(kinds_[base + i] == FrameKind::Free,
+                           "free block covers non-free frame");
+                covered[base + i] = true;
+            }
+            totalFree += n;
+        }
+    }
+    DMT_ASSERT(totalFree == freeFrames_,
+               "free frame accounting mismatch: %llu vs %llu",
+               static_cast<unsigned long long>(totalFree),
+               static_cast<unsigned long long>(freeFrames_));
+    for (Pfn i = 0; i < numFrames_; ++i) {
+        if (kinds_[i] == FrameKind::Free) {
+            DMT_ASSERT(covered[i],
+                       "free frame 0x%llx not in any free list",
+                       static_cast<unsigned long long>(i));
+        }
+    }
+}
+
+} // namespace dmt

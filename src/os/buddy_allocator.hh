@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Binary buddy physical-frame allocator with Linux-style extensions.
+ *
+ * This is the substrate under both the conventional page-table
+ * allocator (scattered 4 KB table pages) and DMT's TEA allocator
+ * (arbitrary-length contiguous runs via allocContig(), the analogue of
+ * Linux's alloc_contig_pages()). It also provides:
+ *
+ *  - frame "kinds" (movable / unmovable / page-table), because only
+ *    movable frames may be relocated by compaction;
+ *  - a free-memory fragmentation index (FMFI) per order, matching the
+ *    Linux extfrag index used by the paper's §6.3 experiment;
+ *  - two-finger compaction with a relocation hook so page tables can
+ *    be fixed up when data frames move.
+ */
+
+#ifndef DMT_OS_BUDDY_ALLOCATOR_HH
+#define DMT_OS_BUDDY_ALLOCATOR_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dmt
+{
+
+/** What a physical frame is being used for. */
+enum class FrameKind : std::uint8_t
+{
+    Free = 0,
+    Movable,    //!< application data; compaction may relocate it
+    Unmovable,  //!< kernel data; pinned
+    PageTable,  //!< page-table or TEA page; pinned
+};
+
+/** Buddy allocator over a flat physical frame range [0, numFrames). */
+class BuddyAllocator
+{
+  public:
+    /** Called when compaction relocates a movable frame. */
+    using RelocationHook = std::function<void(Pfn from, Pfn to)>;
+
+    /**
+     * @param num_frames number of 4 KB frames managed
+     * @param max_order largest block order (default 18 = 1 GB blocks)
+     */
+    explicit BuddyAllocator(Pfn num_frames, int max_order = 18);
+
+    /**
+     * Allocate a naturally aligned block of 2^order frames.
+     * @return base frame number, or nullopt if no block is available.
+     */
+    std::optional<Pfn> allocPages(int order, FrameKind kind);
+
+    /** Free a block previously returned by allocPages(). */
+    void freePages(Pfn base, int order);
+
+    /**
+     * Allocate an arbitrary-length run of physically contiguous frames
+     * (first fit, low addresses first) — the alloc_contig_pages()
+     * analogue used for TEAs.
+     *
+     * @return base frame of the run, or nullopt if no run exists.
+     */
+    std::optional<Pfn> allocContig(std::uint64_t n_pages, FrameKind kind);
+
+    /** Free a run previously returned by allocContig(). */
+    void freeContig(Pfn base, std::uint64_t n_pages);
+
+    /**
+     * Try to grow an existing contiguous allocation in place by
+     * claiming the frames immediately after it.
+     * @return true on success (the frames are now owned by the caller).
+     */
+    bool expandInPlace(Pfn base, std::uint64_t cur_pages,
+                       std::uint64_t extra_pages, FrameKind kind);
+
+    /**
+     * Shrink a contiguous allocation in place, releasing its tail.
+     */
+    void shrinkInPlace(Pfn base, std::uint64_t cur_pages,
+                       std::uint64_t new_pages);
+
+    /**
+     * Run two-finger compaction: migrate movable frames from high
+     * addresses into free space at low addresses, invoking the
+     * relocation hook for each move.
+     *
+     * @param max_moves bound on relocations (0 = unlimited)
+     * @return the number of frames relocated
+     */
+    std::uint64_t compact(std::uint64_t max_moves = 0);
+
+    /** Register the hook compaction uses to fix up mappings. */
+    void setRelocationHook(RelocationHook hook);
+
+    /**
+     * Linux-style fragmentation index for a given order in [0, 1]:
+     * ~0 when the requested order is easily satisfied, ~1 when free
+     * memory exists only as fragments smaller than the request.
+     * @return -1 if the request could be satisfied outright.
+     */
+    double fragmentationIndex(int order) const;
+
+    Pfn numFrames() const { return numFrames_; }
+    std::uint64_t freeFrames() const { return freeFrames_; }
+    int maxOrder() const { return maxOrder_; }
+
+    /** @return the kind of a frame. */
+    FrameKind kindOf(Pfn pfn) const;
+
+    /** @return true if the frame is free. */
+    bool isFree(Pfn pfn) const;
+
+    /** @return number of free blocks at exactly the given order. */
+    std::size_t freeBlocksAt(int order) const;
+
+    /** Verify internal invariants; panics on corruption (for tests). */
+    void checkConsistency() const;
+
+  private:
+    /** Remove a specific free block from the free structures. */
+    void removeFreeBlock(Pfn base, int order);
+
+    /** Insert a free block, coalescing with buddies where possible. */
+    void insertFreeBlock(Pfn base, int order);
+
+    /** Add an arbitrary frame range back as maximal aligned blocks. */
+    void freeFrameRange(Pfn base, std::uint64_t n);
+
+    /**
+     * Find the free block containing pfn.
+     * @return {base, order}; panics if the frame is not free.
+     */
+    std::pair<Pfn, int> findFreeBlockContaining(Pfn pfn) const;
+
+    /**
+     * Claim every frame of [start, end) out of the free structures.
+     * All frames must currently be free.
+     */
+    void claimRange(Pfn start, Pfn end, FrameKind kind);
+
+    /** Mark the frames of a claimed/owned range. */
+    void setKind(Pfn base, std::uint64_t n, FrameKind kind);
+
+    Pfn numFrames_;
+    int maxOrder_;
+    std::uint64_t freeFrames_ = 0;
+    std::vector<std::set<Pfn>> freeLists_;  //!< per order, base-sorted
+    std::vector<FrameKind> kinds_;          //!< per frame
+    RelocationHook relocHook_;
+};
+
+} // namespace dmt
+
+#endif // DMT_OS_BUDDY_ALLOCATOR_HH

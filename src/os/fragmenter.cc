@@ -1,0 +1,60 @@
+#include "os/fragmenter.hh"
+
+#include "common/log.hh"
+
+namespace dmt
+{
+
+Fragmenter::Fragmenter(BuddyAllocator &allocator)
+    : allocator_(allocator)
+{
+}
+
+Fragmenter::~Fragmenter()
+{
+    release();
+}
+
+void
+Fragmenter::fragment(double free_fraction)
+{
+    DMT_ASSERT(free_fraction > 0.0 && free_fraction <= 1.0,
+               "free fraction must be in (0, 1]");
+    const auto targetFree = static_cast<std::uint64_t>(
+        static_cast<double>(allocator_.freeFrames()) * free_fraction);
+
+    // Phase 1: grab every free frame one by one (order 0), recording
+    // them in allocation order (low addresses first).
+    std::vector<Pfn> grabbed;
+    grabbed.reserve(allocator_.freeFrames());
+    while (allocator_.freeFrames() > 0) {
+        const auto pfn =
+            allocator_.allocPages(0, FrameKind::Unmovable);
+        if (!pfn)
+            break;
+        grabbed.push_back(*pfn);
+    }
+
+    // Phase 2: free frames back, never two adjacent, until the free
+    // target is met. Alternating frames guarantees no order-1 buddy
+    // can ever coalesce.
+    std::uint64_t freed = 0;
+    for (std::size_t i = 0; i < grabbed.size(); ++i) {
+        if (i % 2 == 0 && freed < targetFree) {
+            allocator_.freePages(grabbed[i], 0);
+            ++freed;
+        } else {
+            pinned_.push_back(grabbed[i]);
+        }
+    }
+}
+
+void
+Fragmenter::release()
+{
+    for (Pfn pfn : pinned_)
+        allocator_.freePages(pfn, 0);
+    pinned_.clear();
+}
+
+} // namespace dmt

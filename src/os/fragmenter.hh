@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Memory fragmentation injector.
+ *
+ * Reproduces the methodology of the paper's §6.3: drive the free
+ * memory fragmentation index (FMFI) towards a target (0.99 in the
+ * paper) by pinning alternating single frames across the free space,
+ * so free memory exists only as isolated order-0 holes.
+ */
+
+#ifndef DMT_OS_FRAGMENTER_HH
+#define DMT_OS_FRAGMENTER_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "os/buddy_allocator.hh"
+
+namespace dmt
+{
+
+/** Injects and later releases artificial fragmentation. */
+class Fragmenter
+{
+  public:
+    explicit Fragmenter(BuddyAllocator &allocator);
+
+    ~Fragmenter();
+
+    Fragmenter(const Fragmenter &) = delete;
+    Fragmenter &operator=(const Fragmenter &) = delete;
+
+    /**
+     * Fragment free memory, leaving roughly `free_fraction` of the
+     * currently free frames free — but only as isolated order-0
+     * holes pinned apart by unmovable frames.
+     *
+     * @param free_fraction fraction of free frames left free (0..1]
+     */
+    void fragment(double free_fraction);
+
+    /** Release all pinned frames, restoring contiguity. */
+    void release();
+
+    /** Frames currently pinned by the fragmenter. */
+    std::uint64_t pinnedFrames() const { return pinned_.size(); }
+
+  private:
+    BuddyAllocator &allocator_;
+    std::vector<Pfn> pinned_;
+};
+
+} // namespace dmt
+
+#endif // DMT_OS_FRAGMENTER_HH

@@ -1,0 +1,163 @@
+#include "os/vma.hh"
+
+#include "common/log.hh"
+
+namespace dmt
+{
+
+void
+VmaTree::addObserver(VmaObserver *observer)
+{
+    observers_.push_back(observer);
+}
+
+void
+VmaTree::checkNoOverlap(Addr base, Addr size) const
+{
+    auto it = vmas_.upper_bound(base);
+    if (it != vmas_.begin()) {
+        auto prev = std::prev(it);
+        if (prev->second.end() > base)
+            panic("VMA overlap below 0x%llx",
+                  static_cast<unsigned long long>(base));
+    }
+    if (it != vmas_.end() && it->second.base < base + size)
+        panic("VMA overlap above 0x%llx",
+              static_cast<unsigned long long>(base));
+}
+
+const Vma &
+VmaTree::create(Addr base, Addr size, VmaKind kind)
+{
+    DMT_ASSERT((base & pageMask) == 0 && (size & pageMask) == 0,
+               "VMA must be page aligned");
+    DMT_ASSERT(size > 0, "VMA must be non-empty");
+    checkNoOverlap(base, size);
+    auto [it, inserted] = vmas_.emplace(base, Vma{base, size, kind});
+    DMT_ASSERT(inserted, "duplicate VMA base");
+    for (auto *obs : observers_)
+        obs->onVmaCreated(it->second);
+    return it->second;
+}
+
+void
+VmaTree::destroy(Addr base)
+{
+    auto it = vmas_.find(base);
+    if (it == vmas_.end())
+        panic("destroy: no VMA at 0x%llx",
+              static_cast<unsigned long long>(base));
+    const Vma vma = it->second;
+    vmas_.erase(it);
+    for (auto *obs : observers_)
+        obs->onVmaDestroyed(vma);
+}
+
+void
+VmaTree::grow(Addr base, Addr new_size)
+{
+    auto it = vmas_.find(base);
+    if (it == vmas_.end())
+        panic("grow: no VMA at 0x%llx",
+              static_cast<unsigned long long>(base));
+    DMT_ASSERT((new_size & pageMask) == 0, "size must be page aligned");
+    DMT_ASSERT(new_size > it->second.size, "grow must enlarge");
+    // The extension must not collide with the next VMA.
+    auto next = std::next(it);
+    if (next != vmas_.end() && base + new_size > next->second.base)
+        panic("grow: collision with next VMA");
+    const Vma old = it->second;
+    it->second.size = new_size;
+    for (auto *obs : observers_)
+        obs->onVmaResized(old, it->second);
+}
+
+void
+VmaTree::shrink(Addr base, Addr new_size)
+{
+    auto it = vmas_.find(base);
+    if (it == vmas_.end())
+        panic("shrink: no VMA at 0x%llx",
+              static_cast<unsigned long long>(base));
+    DMT_ASSERT((new_size & pageMask) == 0, "size must be page aligned");
+    DMT_ASSERT(new_size > 0 && new_size < it->second.size,
+               "shrink must reduce to a non-empty size");
+    const Vma old = it->second;
+    it->second.size = new_size;
+    for (auto *obs : observers_)
+        obs->onVmaResized(old, it->second);
+}
+
+void
+VmaTree::split(Addr base, Addr at)
+{
+    auto it = vmas_.find(base);
+    if (it == vmas_.end())
+        panic("split: no VMA at 0x%llx",
+              static_cast<unsigned long long>(base));
+    DMT_ASSERT((at & pageMask) == 0, "split point must be page aligned");
+    DMT_ASSERT(at > base && at < it->second.end(),
+               "split point must be strictly inside the VMA");
+    const Vma old = it->second;
+    const VmaKind kind = old.kind;
+    const Addr upperSize = old.end() - at;
+    // Resize the lower half first, then create the upper half.
+    it->second.size = at - base;
+    for (auto *obs : observers_)
+        obs->onVmaResized(old, it->second);
+    create(at, upperSize, kind);
+}
+
+const Vma *
+VmaTree::find(Addr va) const
+{
+    auto it = vmas_.upper_bound(va);
+    if (it == vmas_.begin())
+        return nullptr;
+    --it;
+    return it->second.contains(va) ? &it->second : nullptr;
+}
+
+const Vma *
+VmaTree::findByBase(Addr base) const
+{
+    auto it = vmas_.find(base);
+    return it == vmas_.end() ? nullptr : &it->second;
+}
+
+Addr
+VmaTree::findFreeRange(Addr from, Addr size) const
+{
+    Addr candidate = pageAlignUp(from);
+    // Step over a VMA that begins below `candidate` but covers it.
+    if (const Vma *covering = find(candidate))
+        candidate = covering->end();
+    for (auto it = vmas_.lower_bound(candidate); it != vmas_.end();
+         ++it) {
+        if (it->second.base >= candidate + size)
+            break;
+        candidate = it->second.end();
+    }
+    return candidate;
+}
+
+std::vector<Vma>
+VmaTree::all() const
+{
+    std::vector<Vma> out;
+    out.reserve(vmas_.size());
+    for (const auto &[base, vma] : vmas_)
+        out.push_back(vma);
+    return out;
+}
+
+Addr
+VmaTree::totalBytes() const
+{
+    Addr total = 0;
+    for (const auto &[base, vma] : vmas_)
+        total += vma.size;
+    return total;
+}
+
+} // namespace dmt

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Virtual Memory Areas: the OS abstraction DMT keys its mappings on.
+ *
+ * A VMA is a contiguous virtual region with uniform protection (code,
+ * data, heap, stack, a mapped file...). The VmaTree mirrors Linux's
+ * per-process VMA structure (an ordered tree keyed by base address)
+ * and emits observer callbacks on create/destroy/resize so the DMT
+ * mapping manager can keep VMA-to-TEA mappings in sync (§4.2.3).
+ */
+
+#ifndef DMT_OS_VMA_HH
+#define DMT_OS_VMA_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dmt
+{
+
+/** What a VMA holds; mirrors the categories of the paper's §2.3. */
+enum class VmaKind : std::uint8_t
+{
+    Code,
+    Data,
+    Heap,
+    Stack,
+    MappedFile,
+    Library,
+    Other,
+};
+
+/** A contiguous region of a process's virtual address space. */
+struct Vma
+{
+    Addr base = 0;   //!< page-aligned start
+    Addr size = 0;   //!< bytes, page-aligned
+    VmaKind kind = VmaKind::Other;
+
+    Addr end() const { return base + size; }
+    std::uint64_t pages() const { return size >> pageShift; }
+    bool contains(Addr va) const { return va >= base && va < end(); }
+};
+
+/** Callbacks fired on VMA lifecycle events. */
+class VmaObserver
+{
+  public:
+    virtual ~VmaObserver() = default;
+    virtual void onVmaCreated(const Vma &vma) = 0;
+    virtual void onVmaDestroyed(const Vma &vma) = 0;
+    virtual void onVmaResized(const Vma &old_vma, const Vma &new_vma) = 0;
+};
+
+/** Ordered collection of the VMAs of one process. */
+class VmaTree
+{
+  public:
+    /** Register an observer (not owned). */
+    void addObserver(VmaObserver *observer);
+
+    /**
+     * Create a VMA; base and size must be page aligned and must not
+     * overlap an existing VMA.
+     * @return the created VMA.
+     */
+    const Vma &create(Addr base, Addr size, VmaKind kind);
+
+    /** Destroy the VMA starting exactly at base. */
+    void destroy(Addr base);
+
+    /** Grow (in place, upward) the VMA at base to new_size bytes. */
+    void grow(Addr base, Addr new_size);
+
+    /** Shrink (from the top) the VMA at base to new_size bytes. */
+    void shrink(Addr base, Addr new_size);
+
+    /**
+     * Split the VMA at base into [base, at) and [at, end) — the
+     * __split_vma analogue.
+     */
+    void split(Addr base, Addr at);
+
+    /** @return the VMA containing va, or nullptr. */
+    const Vma *find(Addr va) const;
+
+    /** @return the VMA starting exactly at base, or nullptr. */
+    const Vma *findByBase(Addr base) const;
+
+    /**
+     * @return a free page-aligned gap of at least `size` bytes at or
+     * above `from`, for hint-less mmap.
+     */
+    Addr findFreeRange(Addr from, Addr size) const;
+
+    /** @return all VMAs, ascending by base. */
+    std::vector<Vma> all() const;
+
+    std::size_t count() const { return vmas_.size(); }
+
+    /** Total bytes covered by all VMAs. */
+    Addr totalBytes() const;
+
+  private:
+    void checkNoOverlap(Addr base, Addr size) const;
+
+    std::map<Addr, Vma> vmas_;
+    std::vector<VmaObserver *> observers_;
+};
+
+} // namespace dmt
+
+#endif // DMT_OS_VMA_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * x86-64 page table entry encoding.
+ *
+ * Only the architecturally relevant bits for this simulator are
+ * modelled: present, writable, user, accessed, dirty, page-size, and
+ * the frame number field (bits 51:12).
+ */
+
+#ifndef DMT_PT_PTE_HH
+#define DMT_PT_PTE_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace dmt
+{
+
+/** PTE flag bits (x86-64 layout). */
+namespace pte_flags
+{
+constexpr std::uint64_t present = 1ull << 0;
+constexpr std::uint64_t writable = 1ull << 1;
+constexpr std::uint64_t user = 1ull << 2;
+constexpr std::uint64_t accessed = 1ull << 5;
+constexpr std::uint64_t dirty = 1ull << 6;
+constexpr std::uint64_t pageSize = 1ull << 7;  //!< PS: leaf at L2/L3
+} // namespace pte_flags
+
+/** Mask of the physical frame number field (bits 51:12). */
+constexpr std::uint64_t pteFrameMask = 0x000ffffffffff000ull;
+
+/** Build a PTE from a frame number and flag bits. */
+constexpr std::uint64_t
+makePte(Pfn pfn, std::uint64_t flags)
+{
+    return ((pfn << pageShift) & pteFrameMask) | flags;
+}
+
+/** @return the frame number stored in a PTE. */
+constexpr Pfn
+ptePfn(std::uint64_t pte)
+{
+    return (pte & pteFrameMask) >> pageShift;
+}
+
+/** @return true if the PTE is present. */
+constexpr bool
+pteIsPresent(std::uint64_t pte)
+{
+    return (pte & pte_flags::present) != 0;
+}
+
+/** @return true if the PTE maps a huge page (PS bit). */
+constexpr bool
+pteIsHuge(std::uint64_t pte)
+{
+    return (pte & pte_flags::pageSize) != 0;
+}
+
+} // namespace dmt
+
+#endif // DMT_PT_PTE_HH

@@ -1,0 +1,425 @@
+#include "pt/radix_page_table.hh"
+
+#include "common/log.hh"
+
+namespace dmt
+{
+
+namespace
+{
+constexpr std::uint64_t tableFlags =
+    pte_flags::present | pte_flags::writable | pte_flags::user;
+constexpr std::uint64_t leafFlags =
+    tableFlags | pte_flags::accessed | pte_flags::dirty;
+} // namespace
+
+RadixPageTable::RadixPageTable(Memory &mem,
+                               BuddyAllocator &allocator, int levels)
+    : mem_(mem), allocator_(allocator), levels_(levels)
+{
+    DMT_ASSERT(levels == 4 || levels == 5,
+               "x86-64 supports 4- or 5-level paging");
+    rootPfn_ = allocTable(levels_, 0);
+}
+
+RadixPageTable::~RadixPageTable()
+{
+    destroySubtree(rootPfn_, levels_, 0);
+}
+
+void
+RadixPageTable::destroySubtree(Pfn table_pfn, int level, Addr span_base)
+{
+    if (level > 1) {
+        for (int i = 0; i < 512; ++i) {
+            const Addr slot = (table_pfn << pageShift) + i * pteSize;
+            const std::uint64_t pte = mem_.read64(slot);
+            if (!pteIsPresent(pte) || pteIsHuge(pte))
+                continue;
+            const Addr childSpan =
+                span_base + static_cast<Addr>(i) * spanBytes(level - 1);
+            destroySubtree(ptePfn(pte), level - 1, childSpan);
+        }
+    }
+    freeTable(level, span_base, table_pfn);
+}
+
+void
+RadixPageTable::setFrameProvider(TableFrameProvider *provider)
+{
+    provider_ = provider;
+}
+
+int
+RadixPageTable::indexAt(Addr va, int level)
+{
+    const int shift = pageShift + 9 * (level - 1);
+    return static_cast<int>((va >> shift) & 0x1ff);
+}
+
+int
+RadixPageTable::leafLevel(PageSize size)
+{
+    switch (size) {
+      case PageSize::Size4K: return 1;
+      case PageSize::Size2M: return 2;
+      case PageSize::Size1G: return 3;
+    }
+    return 1;
+}
+
+Addr
+RadixPageTable::spanBytes(int level)
+{
+    // A table at `level` covers 512 entries of 2^(12 + 9*(level-1)).
+    return Addr{1} << (pageShift + 9 * level);
+}
+
+Addr
+RadixPageTable::spanBase(Addr va, int level)
+{
+    return va & ~(spanBytes(level) - 1);
+}
+
+Addr
+RadixPageTable::entrySlot(Pfn table_pfn, Addr va, int level) const
+{
+    return (table_pfn << pageShift) +
+           static_cast<Addr>(indexAt(va, level)) * pteSize;
+}
+
+Pfn
+RadixPageTable::allocTable(int level, Addr span_base)
+{
+    std::optional<Pfn> pfn;
+    if (provider_) {
+        pfn = provider_->provideTableFrame(level, span_base);
+        if (pfn)
+            providerOwned_[*pfn] = {level, span_base};
+    }
+    if (!pfn) {
+        pfn = allocator_.allocPages(0, FrameKind::PageTable);
+        if (!pfn)
+            panic("out of physical memory for page-table pages");
+    }
+    mem_.zeroRange(*pfn << pageShift, pageSize);
+    ++tablePages_;
+    return *pfn;
+}
+
+void
+RadixPageTable::freeTable(int level, Addr span_base, Pfn pfn)
+{
+    mem_.zeroRange(pfn << pageShift, pageSize);
+    auto it = providerOwned_.find(pfn);
+    if (it != providerOwned_.end()) {
+        if (provider_)
+            provider_->releaseTableFrame(level, span_base, pfn);
+        providerOwned_.erase(it);
+    } else {
+        allocator_.freePages(pfn, 0);
+    }
+    DMT_ASSERT(tablePages_ > 0, "table page accounting underflow");
+    --tablePages_;
+}
+
+std::optional<Pfn>
+RadixPageTable::tableFor(Addr va, int target_level, bool create)
+{
+    Pfn cur = rootPfn_;
+    for (int level = levels_; level > target_level; --level) {
+        const Addr slot = entrySlot(cur, va, level);
+        const std::uint64_t pte = mem_.read64(slot);
+        if (pteIsPresent(pte)) {
+            if (pteIsHuge(pte)) {
+                if (create) {
+                    panic("mapping conflict: huge leaf at level %d "
+                          "covers va 0x%llx",
+                          level, static_cast<unsigned long long>(va));
+                }
+                return std::nullopt;
+            }
+            cur = ptePfn(pte);
+            continue;
+        }
+        if (!create)
+            return std::nullopt;
+        const Pfn child =
+            allocTable(level - 1, spanBase(va, level - 1));
+        mem_.write64(slot, makePte(child, tableFlags));
+        cur = child;
+    }
+    return cur;
+}
+
+std::optional<Pfn>
+RadixPageTable::findTable(Addr va, int target_level) const
+{
+    Pfn cur = rootPfn_;
+    for (int level = levels_; level > target_level; --level) {
+        const Addr slot = entrySlot(cur, va, level);
+        const std::uint64_t pte = mem_.read64(slot);
+        if (!pteIsPresent(pte) || pteIsHuge(pte))
+            return std::nullopt;
+        cur = ptePfn(pte);
+    }
+    return cur;
+}
+
+void
+RadixPageTable::map(Addr va, Pfn pfn, PageSize size)
+{
+    const Addr bytes = pageBytesOf(size);
+    DMT_ASSERT((va & (bytes - 1)) == 0,
+               "map: va 0x%llx not aligned to its page size",
+               static_cast<unsigned long long>(va));
+    const int ll = leafLevel(size);
+    const auto table = tableFor(va, ll, true);
+    DMT_ASSERT(table.has_value(), "tableFor(create) cannot fail");
+    const Addr slot = entrySlot(*table, va, ll);
+    const std::uint64_t old = mem_.read64(slot);
+    if (pteIsPresent(old)) {
+        panic("map: va 0x%llx already mapped",
+              static_cast<unsigned long long>(va));
+    }
+    std::uint64_t flags = leafFlags;
+    if (ll > 1)
+        flags |= pte_flags::pageSize;
+    mem_.write64(slot, makePte(pfn, flags));
+    ++mappedLeaves_;
+}
+
+void
+RadixPageTable::unmap(Addr va)
+{
+    Pfn cur = rootPfn_;
+    for (int level = levels_; level >= 1; --level) {
+        const Addr slot = entrySlot(cur, va, level);
+        const std::uint64_t pte = mem_.read64(slot);
+        if (!pteIsPresent(pte))
+            return;
+        const bool leaf = (level == 1) || pteIsHuge(pte);
+        if (leaf) {
+            mem_.write64(slot, 0);
+            DMT_ASSERT(mappedLeaves_ > 0, "leaf accounting underflow");
+            --mappedLeaves_;
+            pruneEmptyTables(va);
+            return;
+        }
+        cur = ptePfn(pte);
+    }
+}
+
+bool
+RadixPageTable::tableEmpty(Pfn table_pfn) const
+{
+    for (int i = 0; i < 512; ++i) {
+        const Addr slot = (table_pfn << pageShift) + i * pteSize;
+        if (pteIsPresent(mem_.read64(slot)))
+            return false;
+    }
+    return true;
+}
+
+void
+RadixPageTable::pruneEmptyTables(Addr va)
+{
+    // Collect the path of tables root -> leaf-most.
+    struct PathEntry
+    {
+        int level;       //!< level of the table page itself
+        Pfn pfn;         //!< the table page
+        Addr parentSlot; //!< slot in the parent referencing it
+    };
+    std::vector<PathEntry> path;
+    Pfn cur = rootPfn_;
+    for (int level = levels_; level > 1; --level) {
+        const Addr slot = entrySlot(cur, va, level);
+        const std::uint64_t pte = mem_.read64(slot);
+        if (!pteIsPresent(pte) || pteIsHuge(pte))
+            break;
+        path.push_back({level - 1, ptePfn(pte), slot});
+        cur = ptePfn(pte);
+    }
+    for (auto it = path.rbegin(); it != path.rend(); ++it) {
+        if (!tableEmpty(it->pfn))
+            break;
+        mem_.write64(it->parentSlot, 0);
+        freeTable(it->level, spanBase(va, it->level), it->pfn);
+    }
+}
+
+std::optional<Translation>
+RadixPageTable::translate(Addr va) const
+{
+    Pfn cur = rootPfn_;
+    for (int level = levels_; level >= 1; --level) {
+        const Addr slot = entrySlot(cur, va, level);
+        const std::uint64_t pte = mem_.read64(slot);
+        if (!pteIsPresent(pte))
+            return std::nullopt;
+        const bool leaf = (level == 1) || pteIsHuge(pte);
+        if (leaf) {
+            PageSize size = PageSize::Size4K;
+            if (level == 2)
+                size = PageSize::Size2M;
+            else if (level == 3)
+                size = PageSize::Size1G;
+            const Addr offset = va & (pageBytesOf(size) - 1);
+            return Translation{ptePfn(pte), size,
+                               (ptePfn(pte) << pageShift) + offset};
+        }
+        cur = ptePfn(pte);
+    }
+    return std::nullopt;
+}
+
+std::vector<WalkStep>
+RadixPageTable::walkPath(Addr va) const
+{
+    std::vector<WalkStep> steps;
+    Pfn cur = rootPfn_;
+    for (int level = levels_; level >= 1; --level) {
+        const Addr slot = entrySlot(cur, va, level);
+        const std::uint64_t pte = mem_.read64(slot);
+        steps.push_back({level, slot, pte});
+        if (!pteIsPresent(pte) || (level == 1) || pteIsHuge(pte))
+            break;
+        cur = ptePfn(pte);
+    }
+    return steps;
+}
+
+std::optional<Addr>
+RadixPageTable::leafPteAddr(Addr va, PageSize size) const
+{
+    const int ll = leafLevel(size);
+    const auto table = findTable(va, ll);
+    if (!table)
+        return std::nullopt;
+    return entrySlot(*table, va, ll);
+}
+
+bool
+RadixPageTable::promote2M(Addr va)
+{
+    DMT_ASSERT((va & (hugePageSize - 1)) == 0,
+               "promote2M: va must be 2 MB aligned");
+    const auto l1 = findTable(va, 1);
+    if (!l1)
+        return false;
+    // All 512 PTEs must be present and form one aligned 2 MB frame run.
+    const Addr tableBase = *l1 << pageShift;
+    const std::uint64_t first = mem_.read64(tableBase);
+    if (!pteIsPresent(first))
+        return false;
+    const Pfn basePfn = ptePfn(first);
+    if (basePfn & 0x1ff)
+        return false;
+    for (int i = 1; i < 512; ++i) {
+        const std::uint64_t pte = mem_.read64(tableBase + i * pteSize);
+        if (!pteIsPresent(pte) || ptePfn(pte) != basePfn + i)
+            return false;
+    }
+    const auto l2 = findTable(va, 2);
+    DMT_ASSERT(l2.has_value(), "L1 exists but L2 does not");
+    const Addr l2slot = entrySlot(*l2, va, 2);
+    mem_.write64(l2slot,
+                 makePte(basePfn, leafFlags | pte_flags::pageSize));
+    freeTable(1, spanBase(va, 1), *l1);
+    mappedLeaves_ -= 511;
+    return true;
+}
+
+bool
+RadixPageTable::demote2M(Addr va)
+{
+    DMT_ASSERT((va & (hugePageSize - 1)) == 0,
+               "demote2M: va must be 2 MB aligned");
+    const auto l2 = findTable(va, 2);
+    if (!l2)
+        return false;
+    const Addr l2slot = entrySlot(*l2, va, 2);
+    const std::uint64_t pde = mem_.read64(l2slot);
+    if (!pteIsPresent(pde) || !pteIsHuge(pde))
+        return false;
+    const Pfn basePfn = ptePfn(pde);
+    const Pfn l1 = allocTable(1, spanBase(va, 1));
+    const Addr tableBase = l1 << pageShift;
+    for (int i = 0; i < 512; ++i)
+        mem_.write64(tableBase + i * pteSize,
+                     makePte(basePfn + i, leafFlags));
+    mem_.write64(l2slot, makePte(l1, tableFlags));
+    mappedLeaves_ += 511;
+    return true;
+}
+
+void
+RadixPageTable::updateLeaf(Addr va, Pfn new_pfn)
+{
+    Pfn cur = rootPfn_;
+    for (int level = levels_; level >= 1; --level) {
+        const Addr slot = entrySlot(cur, va, level);
+        const std::uint64_t pte = mem_.read64(slot);
+        DMT_ASSERT(pteIsPresent(pte),
+                   "updateLeaf: va 0x%llx not mapped",
+                   static_cast<unsigned long long>(va));
+        const bool leaf = (level == 1) || pteIsHuge(pte);
+        if (leaf) {
+            const std::uint64_t flagBits = pte & ~pteFrameMask;
+            mem_.write64(slot,
+                         ((new_pfn << pageShift) & pteFrameMask) |
+                             flagBits);
+            return;
+        }
+        cur = ptePfn(pte);
+    }
+    panic("updateLeaf: walk fell off the tree");
+}
+
+std::optional<Pfn>
+RadixPageTable::tableFrameAt(Addr va, int level) const
+{
+    return findTable(va, level);
+}
+
+void
+RadixPageTable::relocateLeafTableToScattered(Addr va, int level)
+{
+    const auto cur = findTable(va, level);
+    DMT_ASSERT(cur.has_value(),
+               "relocateLeafTableToScattered: no table present");
+    const auto fresh = allocator_.allocPages(0, FrameKind::PageTable);
+    if (!fresh)
+        panic("out of memory while evicting a TEA table page");
+    const auto parent = findTable(va, level + 1);
+    DMT_ASSERT(parent.has_value(), "parent table missing");
+    const Addr slot = entrySlot(*parent, va, level + 1);
+    mem_.copyRange(*fresh << pageShift, *cur << pageShift, pageSize);
+    mem_.write64(slot, makePte(*fresh, tableFlags));
+    ++tablePages_;  // freeTable() will decrement for the old frame
+    freeTable(level, spanBase(va, level), *cur);
+}
+
+void
+RadixPageTable::relocateLeafTable(Addr va, int level, Pfn new_pfn)
+{
+    const auto parent = findTable(va, level + 1);
+    DMT_ASSERT(parent.has_value(),
+               "relocateLeafTable: parent table missing");
+    const Addr slot = entrySlot(*parent, va, level + 1);
+    const std::uint64_t pte = mem_.read64(slot);
+    DMT_ASSERT(pteIsPresent(pte) && !pteIsHuge(pte),
+               "relocateLeafTable: no table at target level");
+    const Pfn oldPfn = ptePfn(pte);
+    if (oldPfn == new_pfn)
+        return;
+    mem_.copyRange(new_pfn << pageShift, oldPfn << pageShift, pageSize);
+    mem_.write64(slot, makePte(new_pfn, tableFlags));
+    providerOwned_[new_pfn] = {level, spanBase(va, level)};
+    // freeTable() decrements the counter; the new frame keeps it.
+    ++tablePages_;
+    freeTable(level, spanBase(va, level), oldPfn);
+}
+
+} // namespace dmt

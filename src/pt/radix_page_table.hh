@@ -1,0 +1,232 @@
+/**
+ * @file
+ * x86-64 radix page table, materialised in simulated physical memory.
+ *
+ * Supports 4-level (default) and 5-level trees, 4 KB / 2 MB / 1 GB
+ * leaf pages, huge-page promotion/demotion, and — crucially for DMT —
+ * a pluggable TableFrameProvider that lets the OS decide *where* leaf
+ * page-table pages live in physical memory. DMT's TEA manager
+ * implements the provider so last-level PTEs land inside contiguous
+ * TEAs; there is never a second copy of any PTE.
+ *
+ * Level numbering follows the paper's Figure 1: level 4 is the root
+ * (PML4), level 1 holds 4 KB leaf PTEs. 2 MB leaves live at level 2,
+ * 1 GB leaves at level 3.
+ */
+
+#ifndef DMT_PT_RADIX_PAGE_TABLE_HH
+#define DMT_PT_RADIX_PAGE_TABLE_HH
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/memory.hh"
+#include "os/buddy_allocator.hh"
+#include "pt/pte.hh"
+
+namespace dmt
+{
+
+/**
+ * Policy hook controlling physical placement of page-table pages.
+ *
+ * When the OS maps a page whose covering table page at `level` does
+ * not exist yet, the radix table asks the provider for a frame. A
+ * nullopt reply falls back to scattered buddy allocation — exactly the
+ * vanilla-Linux behaviour.
+ */
+class TableFrameProvider
+{
+  public:
+    virtual ~TableFrameProvider() = default;
+
+    /**
+     * @param level radix level of the table page (1 = 4 KB-leaf PT)
+     * @param span_base VA of the start of the region the table covers
+     * @return a frame to use, or nullopt for default allocation
+     */
+    virtual std::optional<Pfn> provideTableFrame(int level,
+                                                 Addr span_base) = 0;
+
+    /** Notification that a provided table frame was released. */
+    virtual void releaseTableFrame(int level, Addr span_base,
+                                   Pfn pfn) = 0;
+};
+
+/** Result of a successful translation. */
+struct Translation
+{
+    Pfn pfn;            //!< frame of the (huge) page
+    PageSize size;      //!< leaf page size
+    Addr pa;            //!< full physical address of the byte
+};
+
+/** One step of a page walk: which PTE was read, at which level. */
+struct WalkStep
+{
+    int level;          //!< 4 (or 5) down to leaf level
+    Addr pteAddr;       //!< physical address of the PTE
+    std::uint64_t pte;  //!< its value
+};
+
+/** x86-64 radix page table. */
+class RadixPageTable
+{
+  public:
+    /**
+     * @param mem backing physical memory for the entries
+     * @param allocator frame source for table pages
+     * @param levels 4 or 5
+     */
+    RadixPageTable(Memory &mem, BuddyAllocator &allocator,
+                   int levels = 4);
+
+    ~RadixPageTable();
+
+    RadixPageTable(const RadixPageTable &) = delete;
+    RadixPageTable &operator=(const RadixPageTable &) = delete;
+
+    /** Set (or clear, with nullptr) the table placement policy. */
+    void setFrameProvider(TableFrameProvider *provider);
+
+    /**
+     * Map a virtual page to a physical frame.
+     * @param va page-aligned (to `size`) virtual address
+     * @param pfn frame number (in units of 4 KB frames)
+     * @param size leaf size
+     */
+    void map(Addr va, Pfn pfn, PageSize size = PageSize::Size4K);
+
+    /** Unmap the page containing va; no-op if not mapped. */
+    void unmap(Addr va);
+
+    /** @return the translation for va, if mapped. */
+    std::optional<Translation> translate(Addr va) const;
+
+    /**
+     * Record the PTE physical addresses a hardware walker would touch
+     * translating va, root first.
+     *
+     * The walk stops early at a huge-page leaf or at a non-present
+     * entry (the last step reports the terminating entry).
+     */
+    std::vector<WalkStep> walkPath(Addr va) const;
+
+    /**
+     * Physical address of the *leaf* PTE for va, without walking —
+     * what the DMT fetcher computes from a VMA-to-TEA mapping. Used by
+     * tests to validate fetcher arithmetic against the real tree.
+     * @return nullopt if the covering leaf table does not exist.
+     */
+    std::optional<Addr> leafPteAddr(Addr va, PageSize size) const;
+
+    /**
+     * Promote 512 4 KB mappings to one 2 MB mapping (THP collapse).
+     * All 512 PTEs must be present and physically contiguous.
+     * @return true on success.
+     */
+    bool promote2M(Addr va);
+
+    /** Demote a 2 MB mapping back to 512 4 KB PTEs. */
+    bool demote2M(Addr va);
+
+    /**
+     * Rewrite the frame number of an existing leaf mapping in place
+     * (compaction support). Page size must match the existing leaf.
+     */
+    void updateLeaf(Addr va, Pfn new_pfn);
+
+    /**
+     * Move the leaf table page covering va to a new frame (TEA
+     * migration support). Copies entries and repoints the parent.
+     */
+    void relocateLeafTable(Addr va, int level, Pfn new_pfn);
+
+    /**
+     * Move the leaf table page covering va to a freshly allocated
+     * scattered frame (used when a TEA is torn down while mappings
+     * are still live).
+     */
+    void relocateLeafTableToScattered(Addr va, int level);
+
+    /** @return frame of the table at `level` on va's path, if any. */
+    std::optional<Pfn> tableFrameAt(Addr va, int level) const;
+
+    /** @return root table physical address (the CR3 value). */
+    Addr rootPa() const { return rootPfn_ << pageShift; }
+
+    int levels() const { return levels_; }
+
+    /** Number of table pages currently allocated (all levels). */
+    std::uint64_t tablePages() const { return tablePages_; }
+
+    /** Bytes of physical memory consumed by table pages. */
+    std::uint64_t tableBytes() const { return tablePages_ * pageSize; }
+
+    /** Count of currently mapped leaf pages (any size). */
+    std::uint64_t mappedLeaves() const { return mappedLeaves_; }
+
+    /** @return radix index of va at the given level. */
+    static int indexAt(Addr va, int level);
+
+    /** @return leaf level for a page size (1, 2, or 3). */
+    static int leafLevel(PageSize size);
+
+    /** @return base of the VA span covered by a table at `level`. */
+    static Addr spanBase(Addr va, int level);
+
+    /** @return bytes of VA covered by one table page at `level`. */
+    static Addr spanBytes(int level);
+
+  private:
+    /** Allocate a zeroed table page for `level` covering span_base. */
+    Pfn allocTable(int level, Addr span_base);
+
+    /** Release a table page (notifying the provider if it owns it). */
+    void freeTable(int level, Addr span_base, Pfn pfn);
+
+    /** @return PA of the entry slot for va within a table page. */
+    Addr entrySlot(Pfn table_pfn, Addr va, int level) const;
+
+    /**
+     * Walk to the table at target_level for va, allocating missing
+     * intermediate tables when `create` is set.
+     * @return the table frame, or nullopt.
+     */
+    std::optional<Pfn> tableFor(Addr va, int target_level,
+                                bool create);
+
+    /**
+     * Read-only walk to the table at target_level for va.
+     * @return nullopt if any intermediate entry is absent or a huge
+     *         leaf terminates the path early.
+     */
+    std::optional<Pfn> findTable(Addr va, int target_level) const;
+
+    /** @return true if a table page holds no present entries. */
+    bool tableEmpty(Pfn table_pfn) const;
+
+    /** Recursively free a subtree (destructor helper). */
+    void destroySubtree(Pfn table_pfn, int level, Addr span_base);
+
+    /** Free empty tables on the path to va, bottom-up. */
+    void pruneEmptyTables(Addr va);
+
+    Memory &mem_;
+    BuddyAllocator &allocator_;
+    TableFrameProvider *provider_ = nullptr;
+    int levels_;
+    Pfn rootPfn_;
+    std::uint64_t tablePages_ = 0;
+    std::uint64_t mappedLeaves_ = 0;
+    /** Table frames owned by the provider: pfn -> (level, spanBase). */
+    std::unordered_map<Pfn, std::pair<int, Addr>> providerOwned_;
+};
+
+} // namespace dmt
+
+#endif // DMT_PT_RADIX_PAGE_TABLE_HH

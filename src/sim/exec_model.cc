@@ -1,0 +1,68 @@
+#include "sim/exec_model.hh"
+
+#include "common/log.hh"
+
+namespace dmt
+{
+
+double
+baselineTotal(const Calibration &cal, Environment env)
+{
+    switch (env) {
+      case Environment::Native: return 1.0;
+      case Environment::VirtNested: return cal.virtNptTotal;
+      case Environment::VirtShadow: return cal.virtSptTotal;
+      case Environment::NestedVirt: return cal.nestedTotal;
+    }
+    return 1.0;
+}
+
+double
+baselineWalkOverhead(const Calibration &cal, Environment env)
+{
+    switch (env) {
+      case Environment::Native: return cal.nativeWalkFraction;
+      case Environment::VirtNested:
+        return cal.virtNptTotal * cal.virtNptWalkFraction;
+      case Environment::VirtShadow:
+        return cal.virtSptTotal * cal.virtSptWalkFraction;
+      case Environment::NestedVirt:
+        return cal.nestedTotal * cal.nestedWalkFraction;
+    }
+    return 0.0;
+}
+
+double
+modelExecTime(const Calibration &cal, Environment env,
+              double o_sim_vanilla, double o_sim_target,
+              bool removes_shadow, double shadow_exit_scale)
+{
+    const double total = baselineTotal(cal, env);
+    // A zero baseline overhead means the working set fit in the TLBs
+    // (possible at extreme scale-down): translation cost is moot and
+    // the target's relative overhead is taken as equal.
+    if (o_sim_vanilla <= 0.0) {
+        o_sim_vanilla = 1.0;
+        o_sim_target = 1.0;
+    }
+    const double oMeasure = baselineWalkOverhead(cal, env);
+    double tIdeal = total - oMeasure;
+
+    // The ideal time of the shadow environments includes the VM-exit
+    // overhead of shadow synchronisation; a design that replaces
+    // shadow paging sheds (part of) it.
+    if (env == Environment::NestedVirt) {
+        const double shadow = cal.nestedTotal * cal.nestedShadowFraction;
+        if (removes_shadow)
+            tIdeal -= shadow * (1.0 - shadow_exit_scale);
+    } else if (env == Environment::VirtShadow) {
+        const double shadow =
+            cal.virtSptTotal * cal.virtSptShadowFraction;
+        if (removes_shadow)
+            tIdeal -= shadow * (1.0 - shadow_exit_scale);
+    }
+
+    return oMeasure * (o_sim_target / o_sim_vanilla) + tIdeal;
+}
+
+} // namespace dmt

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The pluggable translation-mechanism interface.
+ *
+ * Every design evaluated in the paper — the vanilla x86 radix walker,
+ * nested paging, shadow paging, DMT/pvDMT, ECPT, FPT, Agile Paging,
+ * ASAP — implements this interface. The translation simulator invokes
+ * walk() on every TLB miss and aggregates the returned records.
+ */
+
+#ifndef DMT_SIM_MECHANISM_HH
+#define DMT_SIM_MECHANISM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dmt
+{
+
+/** One timed step of a page walk (for the Fig. 16 breakdown). */
+struct WalkStepCost
+{
+    char dim;       //!< 'g' guest, 'h' host, 'n' native/flat, 'd' DMT
+    std::int8_t level;  //!< radix level, or step ordinal for DMT
+    Cycles cycles;  //!< time charged for this step
+    /** Logical position in the canonical 24-step 2-D walk of
+     *  Figure 2 (1-24), or -1 when not applicable. */
+    std::int8_t slot = -1;
+};
+
+/** The outcome of one full translation (page walk). */
+struct WalkRecord
+{
+    Cycles latency = 0;      //!< total sequential latency
+    int seqRefs = 0;         //!< length of the dependent access chain
+    int parallelRefs = 0;    //!< extra refs issued in parallel
+    Addr pa = 0;             //!< final translated physical address
+    PageSize size = PageSize::Size4K;  //!< leaf page size
+    bool fellBack = false;   //!< served by the x86 walker fallback
+    /** Per-step costs; filled only when step recording is enabled. */
+    std::vector<WalkStepCost> steps;
+};
+
+/** A translation design under evaluation. */
+class TranslationMechanism
+{
+  public:
+    virtual ~TranslationMechanism() = default;
+
+    /** Short identifier, e.g. "pvDMT" or "Vanilla KVM". */
+    virtual std::string name() const = 0;
+
+    /**
+     * Translate va after a TLB miss, charging all memory references
+     * to the cache hierarchy.
+     *
+     * @param va the (guest-most) virtual address
+     * @return the walk record (latency, refs, final PA, page size)
+     */
+    virtual WalkRecord walk(Addr va) = 0;
+
+    /**
+     * Resolve va to its final physical address *functionally* (no
+     * latency, no cache effects) — used by the simulator to charge
+     * the data access itself and by tests as ground truth.
+     */
+    virtual Addr resolve(Addr va) = 0;
+
+    /** Enable per-step cost recording (Fig. 16). */
+    void recordSteps(bool on) { recordSteps_ = on; }
+
+    /** Flush any walker-private caching state (context switch). */
+    virtual void flush() {}
+
+  protected:
+    bool recordSteps_ = false;
+};
+
+} // namespace dmt
+
+#endif // DMT_SIM_MECHANISM_HH

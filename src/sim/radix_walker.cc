@@ -1,0 +1,68 @@
+#include "sim/radix_walker.hh"
+
+#include "common/log.hh"
+
+namespace dmt
+{
+
+RadixWalker::RadixWalker(const RadixPageTable &pt,
+                         MemoryHierarchy &caches,
+                         const PwcConfig &pwc_config,
+                         std::string name)
+    : pt_(pt), caches_(caches), pwc_(pwc_config),
+      name_(std::move(name))
+{
+}
+
+WalkRecord
+RadixWalker::walk(Addr va)
+{
+    WalkRecord rec;
+    const auto path = pt_.walkPath(va);
+    DMT_ASSERT(!path.empty(), "walkPath returned nothing");
+    DMT_ASSERT(pteIsPresent(path.back().pte),
+               "page fault during simulated walk at va 0x%llx",
+               static_cast<unsigned long long>(va));
+
+    // Consult the PWC: it may let us start below the root.
+    const auto hit =
+        pwc_.lookup(va, pt_.levels(),
+                    static_cast<Pfn>(pt_.rootPa() >> pageShift));
+    rec.latency += pwc_.latency();
+
+    for (const auto &step : path) {
+        if (step.level > hit.startLevel)
+            continue;  // skipped thanks to the PWC
+        const Cycles cost = caches_.access(step.pteAddr);
+        rec.latency += cost;
+        ++rec.seqRefs;
+        if (recordSteps_)
+            rec.steps.push_back(
+                {'n', static_cast<std::int8_t>(step.level), cost});
+        // Fill the PWC with the table pointer this PTE yields.
+        if (step.level > 1 && !pteIsHuge(step.pte))
+            pwc_.fill(va, step.level - 1, ptePfn(step.pte));
+    }
+
+    const auto &leaf = path.back();
+    PageSize size = PageSize::Size4K;
+    if (leaf.level == 2)
+        size = PageSize::Size2M;
+    else if (leaf.level == 3)
+        size = PageSize::Size1G;
+    rec.size = size;
+    const Addr offset = va & (pageBytesOf(size) - 1);
+    rec.pa = (ptePfn(leaf.pte) << pageShift) + offset;
+    return rec;
+}
+
+Addr
+RadixWalker::resolve(Addr va)
+{
+    const auto tr = pt_.translate(va);
+    DMT_ASSERT(tr.has_value(), "resolve: va 0x%llx unmapped",
+               static_cast<unsigned long long>(va));
+    return tr->pa;
+}
+
+} // namespace dmt

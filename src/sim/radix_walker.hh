@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The vanilla x86-64 hardware page walker (native environment).
+ *
+ * Walks the radix tree sequentially upon a TLB miss, consulting the
+ * page walk cache to skip upper levels (Figure 1 of the paper). This
+ * is both the "Vanilla Linux" baseline and the fallback path used by
+ * DMT when a VA is not covered by any VMA-to-TEA register.
+ */
+
+#ifndef DMT_SIM_RADIX_WALKER_HH
+#define DMT_SIM_RADIX_WALKER_HH
+
+#include <string>
+
+#include "mem/memory_hierarchy.hh"
+#include "pt/radix_page_table.hh"
+#include "sim/mechanism.hh"
+#include "tlb/pwc.hh"
+
+namespace dmt
+{
+
+/** Native sequential radix page walker with a PWC. */
+class RadixWalker : public TranslationMechanism
+{
+  public:
+    /**
+     * @param pt the process page table
+     * @param caches the memory hierarchy PTE fetches go through
+     * @param pwc_config page-walk-cache geometry
+     */
+    RadixWalker(const RadixPageTable &pt, MemoryHierarchy &caches,
+                const PwcConfig &pwc_config = {},
+                std::string name = "Vanilla Linux");
+
+    std::string name() const override { return name_; }
+
+    WalkRecord walk(Addr va) override;
+
+    Addr resolve(Addr va) override;
+
+    void flush() override { pwc_.flush(); }
+
+    PageWalkCache &pwc() { return pwc_; }
+
+  private:
+    const RadixPageTable &pt_;
+    MemoryHierarchy &caches_;
+    PageWalkCache pwc_;
+    std::string name_;
+};
+
+} // namespace dmt
+
+#endif // DMT_SIM_RADIX_WALKER_HH

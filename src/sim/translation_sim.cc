@@ -1,0 +1,71 @@
+#include "sim/translation_sim.hh"
+
+namespace dmt
+{
+
+TranslationSimulator::TranslationSimulator(
+    TranslationMechanism &mechanism, TlbHierarchy &tlbs,
+    MemoryHierarchy &caches)
+    : mechanism_(mechanism), tlbs_(tlbs), caches_(caches)
+{
+}
+
+SimResult
+TranslationSimulator::run(TraceSource &trace, const SimConfig &config)
+{
+    SimResult result;
+    mechanism_.recordSteps(config.recordSteps);
+    const std::uint64_t total =
+        config.warmupAccesses + config.measureAccesses;
+    for (std::uint64_t i = 0; i < total; ++i) {
+        const bool measuring = i >= config.warmupAccesses;
+        const Addr va = trace.next();
+        const auto tlb = tlbs_.lookupData(va);
+
+        if (measuring) {
+            ++result.accesses;
+            if (tlb == TlbHierarchy::Result::L1Hit)
+                ++result.l1TlbHits;
+            else if (tlb == TlbHierarchy::Result::L2Hit)
+                ++result.l2TlbHits;
+        }
+
+        if (tlb == TlbHierarchy::Result::Miss) {
+            const WalkRecord rec = mechanism_.walk(va);
+            tlbs_.insertData(va, rec.size);
+            if (measuring) {
+                ++result.walks;
+                result.walkCycles += static_cast<double>(rec.latency);
+                result.seqRefs +=
+                    static_cast<Counter>(rec.seqRefs);
+                result.parallelRefs +=
+                    static_cast<Counter>(rec.parallelRefs);
+                if (rec.fellBack)
+                    ++result.fallbacks;
+                for (const auto &step : rec.steps) {
+                    // Figure 16 slots aggregate by walk position;
+                    // everything else by (dimension, level).
+                    const auto key =
+                        step.slot >= 0
+                            ? std::make_pair('s',
+                                             static_cast<int>(
+                                                 step.slot))
+                            : std::make_pair(step.dim,
+                                             static_cast<int>(
+                                                 step.level));
+                    auto &cell = result.stepCosts[key];
+                    cell.first += static_cast<double>(step.cycles);
+                    ++cell.second;
+                }
+            }
+            // The data access, at the walked physical address.
+            caches_.access(rec.pa);
+        } else {
+            // Data access via the functional translation.
+            caches_.access(mechanism_.resolve(va));
+        }
+    }
+    return result;
+}
+
+} // namespace dmt

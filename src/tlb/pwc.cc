@@ -1,0 +1,118 @@
+#include "tlb/pwc.hh"
+
+#include "common/log.hh"
+
+namespace dmt
+{
+
+PageWalkCache::PageWalkCache(const PwcConfig &config) : config_(config)
+{
+    l3_.resize(config.entriesForL3Table);
+    l2_.resize(config.entriesForL2Table);
+    l1_.resize(config.entriesForL1Table);
+}
+
+Addr
+PageWalkCache::tagFor(Addr va, int table_level)
+{
+    // A table at level t covers 2^(12 + 9t) bytes; the tag is the VA
+    // with that span's offset stripped.
+    const int shift = pageShift + 9 * table_level;
+    return va >> shift;
+}
+
+std::vector<PageWalkCache::Entry> &
+PageWalkCache::arrayFor(int table_level)
+{
+    switch (table_level) {
+      case 3: return l3_;
+      case 2: return l2_;
+      case 1: return l1_;
+      default: panic("PWC caches table levels 1-3 only (got %d)",
+                     table_level);
+    }
+}
+
+PwcHit
+PageWalkCache::lookup(Addr va, int root_level, Pfn root_pfn)
+{
+    ++tick_;
+    // Deepest first: a cached L1-table pointer means only the leaf
+    // PTE remains to be fetched.
+    for (int t = 1; t <= 3; ++t) {
+        auto &arr = arrayFor(t);
+        const Addr tag = tagFor(va, t);
+        for (auto &e : arr) {
+            if (e.valid && e.tag == tag) {
+                e.lastUse = tick_;
+                ++hits_;
+                return {t, e.pfn};
+            }
+        }
+    }
+    ++misses_;
+    return {root_level, root_pfn};
+}
+
+void
+PageWalkCache::fill(Addr va, int table_level, Pfn table_pfn)
+{
+    if (table_level < 1 || table_level > 3)
+        return;  // the root is always reachable via CR3
+    ++tick_;
+    auto &arr = arrayFor(table_level);
+    const Addr tag = tagFor(va, table_level);
+    Entry *victim = &arr.front();
+    for (auto &e : arr) {
+        if (e.valid && e.tag == tag) {
+            e.pfn = table_pfn;
+            e.lastUse = tick_;
+            return;
+        }
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.lastUse < victim->lastUse)
+            victim = &e;
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->pfn = table_pfn;
+    victim->lastUse = tick_;
+}
+
+bool
+PageWalkCache::probeLeafPointer(Addr va) const
+{
+    const Addr tag = tagFor(va, 1);
+    for (const auto &e : l1_) {
+        if (e.valid && e.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+bool
+PageWalkCache::probeLowPointer(Addr va) const
+{
+    if (probeLeafPointer(va))
+        return true;
+    const Addr tag = tagFor(va, 2);
+    for (const auto &e : l2_) {
+        if (e.valid && e.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+PageWalkCache::flush()
+{
+    for (auto *arr : {&l3_, &l2_, &l1_}) {
+        for (auto &e : *arr)
+            e.valid = false;
+    }
+}
+
+} // namespace dmt

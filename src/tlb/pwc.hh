@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Page Walk Cache (PWC) — MMU caches for partial radix walks.
+ *
+ * Per Table 3: three fully-associative levels with 2, 4, and 32
+ * entries caching pointers produced by L4, L3, and L2 PTEs
+ * respectively, 1-cycle access. A hit at the L2-pointer level lets the
+ * walker fetch only the leaf PTE. The same structure, instantiated a
+ * second time and indexed by guest-physical address, serves as the
+ * nested PWC for the host dimension of 2-D walks.
+ */
+
+#ifndef DMT_TLB_PWC_HH
+#define DMT_TLB_PWC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dmt
+{
+
+/** Configuration: entries for the caches of L3/L2/L1 table pointers. */
+struct PwcConfig
+{
+    /** entriesFor[t] = capacity of the cache of level-t table bases;
+     *  index 3 caches L3-table pointers (from L4 PTEs), etc. */
+    int entriesForL3Table = 2;
+    int entriesForL2Table = 4;
+    int entriesForL1Table = 32;
+    Cycles latency = 1;
+};
+
+/** Result of a PWC probe. */
+struct PwcHit
+{
+    /** The level of the first PTE the walker still has to fetch
+     *  (1..rootLevel). rootLevel means a complete miss. */
+    int startLevel;
+    /** Frame of the table holding that PTE (root frame on miss). */
+    Pfn tablePfn;
+};
+
+/** Three-level page walk cache. */
+class PageWalkCache
+{
+  public:
+    explicit PageWalkCache(const PwcConfig &config = {});
+
+    /**
+     * Probe for the deepest cached table pointer on the path of va.
+     *
+     * @param va the address being walked
+     * @param root_level the tree's root level (4 or 5)
+     * @param root_pfn frame of the root table (CR3)
+     */
+    PwcHit lookup(Addr va, int root_level, Pfn root_pfn);
+
+    /**
+     * Cache a table pointer discovered during a walk.
+     *
+     * @param va the walked address
+     * @param table_level level of the table pointed to (1, 2, or 3)
+     * @param table_pfn its frame
+     */
+    void fill(Addr va, int table_level, Pfn table_pfn);
+
+    /**
+     * Check (without LRU update) whether a level-1-table pointer for
+     * va is resident — i.e. whether the walker could localise the
+     * leaf PTE without any memory reference.
+     */
+    bool probeLeafPointer(Addr va) const;
+
+    /**
+     * Check (without LRU update) whether any lower-level table
+     * pointer (L1 or L2) for va is resident — a walk from here is
+     * one or two references.
+     */
+    bool probeLowPointer(Addr va) const;
+
+    /** Drop all entries (context switch). */
+    void flush();
+
+    Cycles latency() const { return config_.latency; }
+    Counter hits() const { return hits_; }
+    Counter misses() const { return misses_; }
+
+  private:
+    struct Entry
+    {
+        Addr tag = 0;  //!< VA prefix covering the table's span
+        Pfn pfn = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    /** Tag for a table at `table_level` on the path of va. */
+    static Addr tagFor(Addr va, int table_level);
+
+    /** @return way array for a table level (1..3). */
+    std::vector<Entry> &arrayFor(int table_level);
+
+    PwcConfig config_;
+    std::vector<Entry> l3_;  //!< pointers to L3 tables
+    std::vector<Entry> l2_;  //!< pointers to L2 tables
+    std::vector<Entry> l1_;  //!< pointers to L1 tables
+    std::uint64_t tick_ = 0;
+    Counter hits_ = 0;
+    Counter misses_ = 0;
+};
+
+} // namespace dmt
+
+#endif // DMT_TLB_PWC_HH

@@ -1,0 +1,156 @@
+#include "tlb/tlb.hh"
+
+#include <bit>
+
+#include "common/log.hh"
+
+namespace dmt
+{
+
+Tlb::Tlb(const TlbConfig &config) : config_(config)
+{
+    DMT_ASSERT(config.entries > 0 && config.associativity > 0,
+               "bad TLB geometry");
+    DMT_ASSERT(config.entries % config.associativity == 0,
+               "TLB entries must divide evenly into sets");
+    numSets_ = config.entries / config.associativity;
+    DMT_ASSERT(std::has_single_bit(numSets_),
+               "TLB set count must be a power of two");
+    entries_.resize(config.entries);
+}
+
+std::size_t
+Tlb::setIndex(Vpn vpn) const
+{
+    return vpn & (numSets_ - 1);
+}
+
+int
+Tlb::findIn(std::size_t set, Vpn vpn, PageSize size) const
+{
+    const std::size_t base = set * config_.associativity;
+    for (int w = 0; w < config_.associativity; ++w) {
+        const Entry &e = entries_[base + w];
+        if (e.valid && e.vpn == vpn && e.size == size)
+            return w;
+    }
+    return -1;
+}
+
+std::optional<PageSize>
+Tlb::lookup(Addr va)
+{
+    ++tick_;
+    for (PageSize size :
+         {PageSize::Size4K, PageSize::Size2M, PageSize::Size1G}) {
+        const Vpn vpn = va >> pageShiftOf(size);
+        const std::size_t set = setIndex(vpn);
+        const int way = findIn(set, vpn, size);
+        if (way >= 0) {
+            entries_[set * config_.associativity + way].lastUse =
+                tick_;
+            ++hits_;
+            return size;
+        }
+    }
+    ++misses_;
+    return std::nullopt;
+}
+
+void
+Tlb::insert(Addr va, PageSize size)
+{
+    ++tick_;
+    const Vpn vpn = va >> pageShiftOf(size);
+    const std::size_t set = setIndex(vpn);
+    const std::size_t base = set * config_.associativity;
+    if (const int way = findIn(set, vpn, size); way >= 0) {
+        entries_[base + way].lastUse = tick_;
+        return;
+    }
+    Entry *victim = &entries_[base];
+    for (int w = 0; w < config_.associativity; ++w) {
+        Entry &e = entries_[base + w];
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.lastUse < victim->lastUse)
+            victim = &e;
+    }
+    victim->valid = true;
+    victim->vpn = vpn;
+    victim->size = size;
+    victim->lastUse = tick_;
+}
+
+void
+Tlb::invalidate(Addr va)
+{
+    for (PageSize size :
+         {PageSize::Size4K, PageSize::Size2M, PageSize::Size1G}) {
+        const Vpn vpn = va >> pageShiftOf(size);
+        const std::size_t set = setIndex(vpn);
+        const int way = findIn(set, vpn, size);
+        if (way >= 0)
+            entries_[set * config_.associativity + way].valid = false;
+    }
+}
+
+void
+Tlb::flush()
+{
+    for (auto &e : entries_)
+        e.valid = false;
+}
+
+double
+Tlb::hitRatio() const
+{
+    const Counter total = hits_ + misses_;
+    return total ? static_cast<double>(hits_) /
+                       static_cast<double>(total)
+                 : 0.0;
+}
+
+TlbHierarchy::TlbHierarchy()
+    : TlbHierarchy(TlbConfig{"l1d-tlb", 64, 4},
+                   TlbConfig{"l1i-tlb", 128, 8},
+                   TlbConfig{"stlb", 1536, 12})
+{
+}
+
+TlbHierarchy::TlbHierarchy(const TlbConfig &l1d, const TlbConfig &l1i,
+                           const TlbConfig &stlb)
+    : l1d_(l1d), l1i_(l1i), stlb_(stlb)
+{
+}
+
+TlbHierarchy::Result
+TlbHierarchy::lookupData(Addr va)
+{
+    if (l1d_.lookup(va))
+        return Result::L1Hit;
+    if (const auto size = stlb_.lookup(va)) {
+        l1d_.insert(va, *size);
+        return Result::L2Hit;
+    }
+    return Result::Miss;
+}
+
+void
+TlbHierarchy::insertData(Addr va, PageSize size)
+{
+    l1d_.insert(va, size);
+    stlb_.insert(va, size);
+}
+
+void
+TlbHierarchy::flush()
+{
+    l1d_.flush();
+    l1i_.flush();
+    stlb_.flush();
+}
+
+} // namespace dmt

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Set-associative, page-size-aware TLB model.
+ *
+ * Entries tag the virtual page number at the entry's own page size, so
+ * a single 2 MB entry covers 512 4 KB pages — the reach effect that
+ * makes THP matter in the paper's evaluation. Lookups probe all
+ * supported page sizes (as hardware does for a unified TLB).
+ */
+
+#ifndef DMT_TLB_TLB_HH
+#define DMT_TLB_TLB_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dmt
+{
+
+/** Configuration of one TLB level. */
+struct TlbConfig
+{
+    std::string name;
+    int entries = 64;
+    int associativity = 4;
+};
+
+/** One TLB (L1 D/I or the L2 STLB). */
+class Tlb
+{
+  public:
+    explicit Tlb(const TlbConfig &config);
+
+    /**
+     * Probe for the page containing va at any page size.
+     * @return the hit entry's page size, or nullopt on miss.
+     *         The hit entry is promoted to MRU.
+     */
+    std::optional<PageSize> lookup(Addr va);
+
+    /** Install a translation for the page of `size` containing va. */
+    void insert(Addr va, PageSize size);
+
+    /** Invalidate the entry covering va, if any. */
+    void invalidate(Addr va);
+
+    /** Drop everything (context switch / TLB shootdown). */
+    void flush();
+
+    Counter hits() const { return hits_; }
+    Counter misses() const { return misses_; }
+
+    /** Hit ratio over all lookups so far (0 if none). */
+    double hitRatio() const;
+
+    const TlbConfig &config() const { return config_; }
+
+  private:
+    struct Entry
+    {
+        Vpn vpn = 0;               //!< page number at `size`
+        PageSize size = PageSize::Size4K;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    /** Set index for a VPN (same set array for all sizes). */
+    std::size_t setIndex(Vpn vpn) const;
+
+    /** Scan one set for (vpn, size); returns way or -1. */
+    int findIn(std::size_t set, Vpn vpn, PageSize size) const;
+
+    TlbConfig config_;
+    std::size_t numSets_;
+    std::vector<Entry> entries_;
+    std::uint64_t tick_ = 0;
+    Counter hits_ = 0;
+    Counter misses_ = 0;
+};
+
+/**
+ * The three-TLB structure of Table 3: L1I, L1D, shared L2 STLB.
+ * Only the data path is exercised by the translation simulator.
+ */
+class TlbHierarchy
+{
+  public:
+    /** Which level served a lookup. */
+    enum class Result
+    {
+        L1Hit,
+        L2Hit,
+        Miss,
+    };
+
+    TlbHierarchy();
+    TlbHierarchy(const TlbConfig &l1d, const TlbConfig &l1i,
+                 const TlbConfig &stlb);
+
+    /** Probe L1D then the STLB. An STLB hit refills the L1D. */
+    Result lookupData(Addr va);
+
+    /** Install a completed translation into L1D and STLB. */
+    void insertData(Addr va, PageSize size);
+
+    /** Flush all levels. */
+    void flush();
+
+    Tlb &l1d() { return l1d_; }
+    Tlb &l1i() { return l1i_; }
+    Tlb &stlb() { return stlb_; }
+    const Tlb &l1d() const { return l1d_; }
+    const Tlb &stlb() const { return stlb_; }
+
+  private:
+    Tlb l1d_;
+    Tlb l1i_;
+    Tlb stlb_;
+};
+
+} // namespace dmt
+
+#endif // DMT_TLB_TLB_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Cost constants for virtualization events.
+ *
+ * The paper measures these on real hardware (Xeon Gold 6138 at
+ * 2.0 GHz); we encode them as simulation constants. The hypercall
+ * costs are the paper's own §6.3 measurements.
+ */
+
+#ifndef DMT_VIRT_COSTS_HH
+#define DMT_VIRT_COSTS_HH
+
+#include "common/types.hh"
+
+namespace dmt
+{
+
+/** Simulated core frequency (Table 2: 2.00 GHz). */
+constexpr double cyclesPerSecond = 2.0e9;
+
+/** Cycles for one VM exit + hypervisor handling (shadow-paging sync,
+ *  EPT violations, ...). Roughly 2 us on the modeled machine. */
+constexpr Cycles vmExitCycles = 4000;
+
+/** VM exits are substantially more expensive under nested
+ *  virtualization (Turtles-style exit multiplication). Ratio taken
+ *  from the paper's hypercall measurements (10.75 us / 1.88 us). */
+constexpr double nestedExitMultiplier = 5.7;
+
+/** KVM_HC_ALLOC_TEA hypercall overhead, excluding allocation work
+ *  (§6.3: 1.88 us virtualized, 10.75 us nested). */
+constexpr double hypercallVirtSeconds = 1.88e-6;
+constexpr double hypercallNestedSeconds = 10.75e-6;
+
+/** @return cycles for a duration in seconds. */
+constexpr Cycles
+secondsToCycles(double s)
+{
+    return static_cast<Cycles>(s * cyclesPerSecond);
+}
+
+} // namespace dmt
+
+#endif // DMT_VIRT_COSTS_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Guest-physical memory view.
+ *
+ * Presents a guest's physical address space as a Memory object by
+ * translating every access into the backing (host-)physical memory.
+ * Guest page tables are built on this view, so their entries are
+ * genuinely resident at host physical addresses — which is what the
+ * 2-D walker and the DMT fetcher charge cache accesses against.
+ * Views compose, which is how the L2 space of nested virtualization
+ * is reached through two translation layers.
+ */
+
+#ifndef DMT_VIRT_GUEST_MEMORY_VIEW_HH
+#define DMT_VIRT_GUEST_MEMORY_VIEW_HH
+
+#include <functional>
+#include <utility>
+
+#include "common/types.hh"
+#include "mem/memory.hh"
+
+namespace dmt
+{
+
+/** Memory view applying a gPA -> backing-PA translation per access. */
+class GuestMemoryView : public Memory
+{
+  public:
+    /** Translates a guest-physical address to a backing address. */
+    using TranslateFn = std::function<Addr(Addr)>;
+
+    GuestMemoryView(Memory &backing, TranslateFn translate)
+        : backing_(backing), translate_(std::move(translate))
+    {
+    }
+
+    std::uint64_t
+    read64(Addr pa) const override
+    {
+        return backing_.read64(translate_(pa));
+    }
+
+    void
+    write64(Addr pa, std::uint64_t value) override
+    {
+        backing_.write64(translate_(pa), value);
+    }
+
+  private:
+    Memory &backing_;
+    TranslateFn translate_;
+};
+
+} // namespace dmt
+
+#endif // DMT_VIRT_GUEST_MEMORY_VIEW_HH

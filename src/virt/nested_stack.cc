@@ -1,0 +1,83 @@
+#include "virt/nested_stack.hh"
+
+#include "common/log.hh"
+
+namespace dmt
+{
+
+NestedStack::NestedStack(Memory &l0_mem, BuddyAllocator &l0_alloc,
+                         const NestedConfig &config)
+    : config_(config)
+{
+    DMT_ASSERT(config.l2Bytes <= config.l1Bytes,
+               "L2 memory cannot exceed L1 memory");
+
+    // L1 VM on L0.
+    VmConfig vm1Cfg;
+    vm1Cfg.vmBytes = config.l1Bytes;
+    vm1Cfg.hostThp = config.l0Thp;
+    vm1Cfg.guestThp = config.l1Thp;
+    vm1_ = std::make_unique<VirtualMachine>(l0_mem, l0_alloc, vm1Cfg);
+
+    // The L1 hypervisor's container process for L2 physical memory:
+    // an L1 process whose page table lives in L1 physical memory.
+    AddressSpaceConfig l1Cfg;
+    l1Cfg.thp = config.l1Thp;
+    l1Container_ = std::make_unique<AddressSpace>(
+        vm1_->guestMem(), vm1_->guestAllocator(), l1Cfg);
+    l1Container_->mmapAt(config.l2paBaseL1va, config.l2Bytes,
+                         VmaKind::MappedFile, /*populate=*/true);
+
+    // L2 physical frames and the view resolving L2PA -> L1PA -> L0.
+    l2Alloc_ = std::make_unique<BuddyAllocator>(
+        config.l2Bytes >> pageShift);
+    l2View_ = std::make_unique<GuestMemoryView>(
+        vm1_->guestMem(),
+        [this](Addr l2pa) { return l2paToL1pa(l2pa); });
+
+    // The L2 guest workload process.
+    AddressSpaceConfig l2Cfg;
+    l2Cfg.thp = config.l2Thp;
+    l2Space_ = std::make_unique<AddressSpace>(*l2View_, *l2Alloc_,
+                                              l2Cfg);
+}
+
+Addr
+NestedStack::l2paToL1va(Addr l2pa) const
+{
+    return config_.l2paBaseL1va + l2pa;
+}
+
+Addr
+NestedStack::l2paToL1pa(Addr l2pa) const
+{
+    const auto tr =
+        l1Container_->pageTable().translate(l2paToL1va(l2pa));
+    DMT_ASSERT(tr.has_value(), "L2 physical memory not backed by L1");
+    return tr->pa;
+}
+
+Addr
+NestedStack::l1paToL0pa(Addr l1pa) const
+{
+    return vm1_->gpaToHostPa(l1pa);
+}
+
+Addr
+NestedStack::l2paToL0pa(Addr l2pa) const
+{
+    return l1paToL0pa(l2paToL1pa(l2pa));
+}
+
+std::unique_ptr<ShadowPager>
+NestedStack::makeL2ShadowPager(Memory &l0_mem,
+                               BuddyAllocator &l0_alloc)
+{
+    auto pager = std::make_unique<ShadowPager>(
+        l0_mem, l0_alloc, *l1Container_,
+        [this](Addr l1pa) { return l1paToL0pa(l1pa); });
+    pager->syncAll();
+    return pager;
+}
+
+} // namespace dmt

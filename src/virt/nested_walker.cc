@@ -1,0 +1,129 @@
+#include "virt/nested_walker.hh"
+
+#include "common/log.hh"
+
+namespace dmt
+{
+
+NestedWalker::NestedWalker(const RadixPageTable &guest_pt,
+                           const RadixPageTable &host_pt,
+                           GpaToHostVa gpa_to_hva,
+                           MemoryHierarchy &caches,
+                           const PwcConfig &pwc_config,
+                           std::string name)
+    : guestPt_(guest_pt), hostPt_(host_pt),
+      gpaToHva_(std::move(gpa_to_hva)), caches_(caches),
+      guestPwc_(pwc_config), nestedPwc_(pwc_config),
+      name_(std::move(name))
+{
+}
+
+Addr
+NestedWalker::hostWalk(Addr gpa, WalkRecord &rec)
+{
+    const Addr hva = gpaToHva_(gpa);
+    const auto path = hostPt_.walkPath(hva);
+    DMT_ASSERT(pteIsPresent(path.back().pte),
+               "host page fault during nested walk (gpa 0x%llx)",
+               static_cast<unsigned long long>(gpa));
+    const auto hit = nestedPwc_.lookup(
+        hva, hostPt_.levels(),
+        static_cast<Pfn>(hostPt_.rootPa() >> pageShift));
+    rec.latency += nestedPwc_.latency();
+    for (const auto &step : path) {
+        if (step.level > hit.startLevel)
+            continue;
+        const Cycles cost = caches_.access(step.pteAddr);
+        rec.latency += cost;
+        ++rec.seqRefs;
+        if (recordSteps_) {
+            const int slot = slotBase_ >= 0
+                                 ? slotBase_ + (4 - step.level) + 1
+                                 : -1;
+            rec.steps.push_back(
+                {'h', static_cast<std::int8_t>(step.level), cost,
+                 static_cast<std::int8_t>(slot)});
+        }
+        if (step.level > 1 && !pteIsHuge(step.pte))
+            nestedPwc_.fill(hva, step.level - 1, ptePfn(step.pte));
+    }
+    const auto &leaf = path.back();
+    PageSize size = PageSize::Size4K;
+    if (leaf.level == 2)
+        size = PageSize::Size2M;
+    else if (leaf.level == 3)
+        size = PageSize::Size1G;
+    const Addr offset = hva & (pageBytesOf(size) - 1);
+    return (ptePfn(leaf.pte) << pageShift) + offset;
+}
+
+WalkRecord
+NestedWalker::walk(Addr gva)
+{
+    WalkRecord rec;
+    const auto gpath = guestPt_.walkPath(gva);
+    DMT_ASSERT(pteIsPresent(gpath.back().pte),
+               "guest page fault during nested walk (gva 0x%llx)",
+               static_cast<unsigned long long>(gva));
+
+    // The guest-dimension PWC caches *host* frames of guest tables,
+    // skipping both the upper guest levels and their host walks.
+    const auto ghit =
+        guestPwc_.lookup(gva, guestPt_.levels(), /*root_pfn=*/0);
+    rec.latency += guestPwc_.latency();
+    const bool pwcHit = ghit.startLevel < guestPt_.levels();
+
+    for (const auto &step : gpath) {
+        if (step.level > ghit.startLevel)
+            continue;
+        // Host frame of the table holding this guest PTE.
+        Pfn tableHostFrame;
+        slotBase_ = 5 * (4 - step.level);
+        if (pwcHit && step.level == ghit.startLevel) {
+            tableHostFrame = ghit.tablePfn;
+        } else {
+            const Addr slotHpa = hostWalk(step.pteAddr, rec);
+            tableHostFrame = slotHpa >> pageShift;
+            if (step.level <= 3)
+                guestPwc_.fill(gva, step.level, tableHostFrame);
+        }
+        const Addr pteHpa = (tableHostFrame << pageShift) |
+                            (step.pteAddr & pageMask);
+        const Cycles cost = caches_.access(pteHpa);
+        rec.latency += cost;
+        ++rec.seqRefs;
+        if (recordSteps_)
+            rec.steps.push_back(
+                {'g', static_cast<std::int8_t>(step.level), cost,
+                 static_cast<std::int8_t>(5 * (4 - step.level) + 5)});
+    }
+
+    // Final host walk for the data page's guest-physical address.
+    const auto &gleaf = gpath.back();
+    PageSize gsize = PageSize::Size4K;
+    if (gleaf.level == 2)
+        gsize = PageSize::Size2M;
+    else if (gleaf.level == 3)
+        gsize = PageSize::Size1G;
+    const Addr dataGpa = (ptePfn(gleaf.pte) << pageShift) +
+                         (gva & (pageBytesOf(gsize) - 1));
+    slotBase_ = 20;
+    rec.pa = hostWalk(dataGpa, rec);
+    slotBase_ = -1;
+    rec.size = gsize;
+    return rec;
+}
+
+Addr
+NestedWalker::resolve(Addr gva)
+{
+    const auto gtr = guestPt_.translate(gva);
+    DMT_ASSERT(gtr.has_value(), "resolve: gva 0x%llx unmapped",
+               static_cast<unsigned long long>(gva));
+    const auto htr = hostPt_.translate(gpaToHva_(gtr->pa));
+    DMT_ASSERT(htr.has_value(), "resolve: gpa 0x%llx not backed",
+               static_cast<unsigned long long>(gtr->pa));
+    return htr->pa;
+}
+
+} // namespace dmt

@@ -1,0 +1,56 @@
+#include "virt/virtual_machine.hh"
+
+#include "common/log.hh"
+
+namespace dmt
+{
+
+VirtualMachine::VirtualMachine(Memory &host_mem,
+                               BuddyAllocator &host_alloc,
+                               const VmConfig &config)
+    : config_(config)
+{
+    DMT_ASSERT((config.vmBytes & pageMask) == 0,
+               "VM size must be page aligned");
+
+    // The container process: one VMA covering all of guest physical
+    // memory, populated eagerly (performance VMs pin their memory).
+    AddressSpaceConfig containerCfg;
+    containerCfg.ptLevels = config.ptLevels;
+    containerCfg.thp = config.hostThp;
+    container_ =
+        std::make_unique<AddressSpace>(host_mem, host_alloc,
+                                       containerCfg);
+    container_->mmapAt(config.gpaBaseHva, config.vmBytes,
+                       VmaKind::MappedFile, /*populate=*/true);
+
+    // Guest-physical frames and the view resolving them to host
+    // physical addresses through the container page table.
+    guestAlloc_ = std::make_unique<BuddyAllocator>(
+        config.vmBytes >> pageShift);
+    guestView_ = std::make_unique<GuestMemoryView>(
+        host_mem, [this](Addr gpa) { return gpaToHostPa(gpa); });
+
+    // The guest OS's workload process.
+    AddressSpaceConfig guestCfg;
+    guestCfg.ptLevels = config.ptLevels;
+    guestCfg.thp = config.guestThp;
+    guest_ = std::make_unique<AddressSpace>(*guestView_, *guestAlloc_,
+                                            guestCfg);
+}
+
+Addr
+VirtualMachine::gpaToHostPa(Addr gpa) const
+{
+    DMT_ASSERT(gpa < config_.vmBytes,
+               "guest physical address 0x%llx beyond VM memory",
+               static_cast<unsigned long long>(gpa));
+    const auto tr =
+        container_->pageTable().translate(gpaToHva(gpa));
+    DMT_ASSERT(tr.has_value(),
+               "guest physical memory not backed at gpa 0x%llx",
+               static_cast<unsigned long long>(gpa));
+    return tr->pa;
+}
+
+} // namespace dmt

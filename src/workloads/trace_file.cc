@@ -1,0 +1,68 @@
+#include "workloads/trace_file.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace dmt
+{
+
+namespace
+{
+constexpr char magic[8] = {'D', 'M', 'T', 'T', 'R', 'A', 'C', 'E'};
+} // namespace
+
+void
+recordTrace(TraceSource &source, std::uint64_t count,
+            const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        fatal("cannot open trace file '%s' for writing",
+              path.c_str());
+    std::fwrite(magic, 1, sizeof(magic), f);
+    std::fwrite(&count, sizeof(count), 1, f);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const Addr va = source.next();
+        std::fwrite(&va, sizeof(va), 1, f);
+    }
+    std::fclose(f);
+}
+
+FileTrace::FileTrace(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        fatal("cannot open trace file '%s'", path.c_str());
+    char head[8];
+    std::uint64_t count = 0;
+    if (std::fread(head, 1, sizeof(head), f) != sizeof(head) ||
+        std::memcmp(head, magic, sizeof(magic)) != 0) {
+        std::fclose(f);
+        fatal("'%s' is not a DMT trace file", path.c_str());
+    }
+    if (std::fread(&count, sizeof(count), 1, f) != 1) {
+        std::fclose(f);
+        fatal("'%s': truncated header", path.c_str());
+    }
+    addrs_.resize(count);
+    if (count > 0 &&
+        std::fread(addrs_.data(), sizeof(Addr), count, f) != count) {
+        std::fclose(f);
+        fatal("'%s': truncated trace body", path.c_str());
+    }
+    std::fclose(f);
+    if (addrs_.empty())
+        fatal("'%s': empty trace", path.c_str());
+}
+
+Addr
+FileTrace::next()
+{
+    const Addr va = addrs_[cursor_];
+    cursor_ = (cursor_ + 1) % addrs_.size();
+    return va;
+}
+
+} // namespace dmt

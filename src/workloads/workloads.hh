@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The seven data-intensive workloads of Table 4, as synthetic trace
+ * generators.
+ *
+ * Each workload reproduces, at 1/16 scale (so a laptop-scale
+ * simulation keeps the paper's TLB/cache pressure ratios):
+ *  - the working-set size,
+ *  - the VMA geometry of Table 1 (total VMAs, dominant VMAs,
+ *    clusters — including Memcached's 778-slab layout with sub-16 KB
+ *    bubbles), and
+ *  - the memory access pattern (uniform, Zipf, pointer-chase, binary
+ *    search, BFS-like).
+ *
+ * The per-workload Calibration carries the paper's measured totals
+ * and walk fractions (Figure 4), which feed the §5 execution model.
+ */
+
+#ifndef DMT_WORKLOADS_WORKLOADS_HH
+#define DMT_WORKLOADS_WORKLOADS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "os/address_space.hh"
+#include "sim/exec_model.hh"
+#include "sim/translation_sim.hh"
+
+namespace dmt
+{
+
+/** One benchmark workload: VMA layout + trace + calibration. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Scaled working-set bytes (dominant VMAs). */
+    virtual Addr footprintBytes() const = 0;
+
+    /**
+     * Create and populate the workload's VMAs in a process. Must be
+     * called exactly once per address space before trace().
+     */
+    virtual void setup(AddressSpace &proc) = 0;
+
+    /** A fresh deterministic access trace over the set-up layout. */
+    virtual std::unique_ptr<TraceSource> trace(
+        std::uint64_t seed) const = 0;
+
+    /** Paper-derived measured characteristics (§5 substitution). */
+    virtual const Calibration &calibration() const = 0;
+};
+
+/**
+ * All seven paper workloads.
+ *
+ * @param scale working-set scale factor vs the paper. The default
+ *        1/16 keeps even the THP working sets (4k-5k 2 MB pages)
+ *        well beyond the 1536-entry STLB's reach, preserving the
+ *        paper's TLB pressure; smaller scales are fine for 4 KB-only
+ *        experiments.
+ */
+std::vector<std::unique_ptr<Workload>> makePaperWorkloads(
+    double scale = 1.0 / 16.0);
+
+/** Create one workload by name ("Redis", "GUPS", ...). */
+std::unique_ptr<Workload> makeWorkload(const std::string &name,
+                                       double scale = 1.0 / 16.0);
+
+/** Names in the paper's presentation order. */
+std::vector<std::string> paperWorkloadNames();
+
+/**
+ * Synthetic VMA layouts (sizes + gaps only) for the SPEC CPU 2006
+ * and 2017 suites, for the Table 1 / Figure 5 characterisation.
+ */
+struct VmaProfile
+{
+    std::string name;
+    std::vector<Vma> vmas;  //!< ascending by base
+};
+
+std::vector<VmaProfile> makeSpecProfiles2006(std::uint64_t seed = 7);
+std::vector<VmaProfile> makeSpecProfiles2017(std::uint64_t seed = 17);
+
+} // namespace dmt
+
+#endif // DMT_WORKLOADS_WORKLOADS_HH

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Unit and property tests for the buddy allocator: alloc/free
+ * round-trips, coalescing, contiguous runs, in-place expansion,
+ * fragmentation index, and compaction.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hh"
+#include "os/buddy_allocator.hh"
+#include "os/fragmenter.hh"
+
+namespace dmt
+{
+namespace
+{
+
+TEST(Buddy, FreshAllocatorIsFullyFree)
+{
+    BuddyAllocator alloc(1024);
+    EXPECT_EQ(alloc.freeFrames(), 1024u);
+    alloc.checkConsistency();
+}
+
+TEST(Buddy, AllocFreeRoundTripRestoresEverything)
+{
+    BuddyAllocator alloc(1 << 14);
+    std::vector<std::pair<Pfn, int>> blocks;
+    for (int order : {0, 3, 5, 0, 9, 1, 4}) {
+        auto pfn = alloc.allocPages(order, FrameKind::Movable);
+        ASSERT_TRUE(pfn.has_value());
+        EXPECT_EQ(*pfn & ((Pfn{1} << order) - 1), 0u)
+            << "block must be naturally aligned";
+        blocks.emplace_back(*pfn, order);
+    }
+    alloc.checkConsistency();
+    for (auto [pfn, order] : blocks)
+        alloc.freePages(pfn, order);
+    EXPECT_EQ(alloc.freeFrames(), Pfn{1} << 14);
+    alloc.checkConsistency();
+    // Coalescing restored the maximal block.
+    auto big = alloc.allocPages(14, FrameKind::Movable);
+    EXPECT_TRUE(big.has_value());
+}
+
+TEST(Buddy, DistinctBlocksDoNotOverlap)
+{
+    BuddyAllocator alloc(1 << 12);
+    std::set<Pfn> used;
+    std::vector<Pfn> singles;
+    while (true) {
+        auto pfn = alloc.allocPages(0, FrameKind::Unmovable);
+        if (!pfn)
+            break;
+        EXPECT_TRUE(used.insert(*pfn).second)
+            << "frame handed out twice";
+        singles.push_back(*pfn);
+    }
+    EXPECT_EQ(singles.size(), std::size_t{1} << 12);
+    for (Pfn pfn : singles)
+        alloc.freePages(pfn, 0);
+    alloc.checkConsistency();
+}
+
+TEST(Buddy, ContiguousRunIsActuallyContiguousAndOwned)
+{
+    BuddyAllocator alloc(1 << 12);
+    // Punch some holes first.
+    auto a = alloc.allocPages(4, FrameKind::Unmovable);
+    auto b = alloc.allocPages(6, FrameKind::Unmovable);
+    ASSERT_TRUE(a && b);
+    alloc.freePages(*a, 4);
+
+    auto run = alloc.allocContig(777, FrameKind::PageTable);
+    ASSERT_TRUE(run.has_value());
+    for (Pfn i = 0; i < 777; ++i)
+        EXPECT_EQ(alloc.kindOf(*run + i), FrameKind::PageTable);
+    alloc.checkConsistency();
+    alloc.freeContig(*run, 777);
+    alloc.freePages(*b, 6);
+    EXPECT_EQ(alloc.freeFrames(), Pfn{1} << 12);
+    alloc.checkConsistency();
+}
+
+TEST(Buddy, ContigFailsWhenOnlyFragmentsRemain)
+{
+    BuddyAllocator alloc(256);
+    Fragmenter fragmenter(alloc);
+    fragmenter.fragment(0.5);
+    // Half the memory is free, but only as isolated frames.
+    EXPECT_GT(alloc.freeFrames(), 100u);
+    EXPECT_FALSE(alloc.allocContig(2, FrameKind::PageTable));
+    EXPECT_TRUE(alloc.allocContig(1, FrameKind::PageTable));
+    alloc.checkConsistency();
+}
+
+TEST(Buddy, ExpandInPlaceClaimsFollowingFrames)
+{
+    BuddyAllocator alloc(1024);
+    auto run = alloc.allocContig(10, FrameKind::PageTable);
+    ASSERT_TRUE(run.has_value());
+    EXPECT_TRUE(alloc.expandInPlace(*run, 10, 6,
+                                    FrameKind::PageTable));
+    for (Pfn i = 0; i < 16; ++i)
+        EXPECT_EQ(alloc.kindOf(*run + i), FrameKind::PageTable);
+    // Blocking frame prevents expansion.
+    auto blocker = alloc.allocContig(1, FrameKind::Unmovable);
+    ASSERT_TRUE(blocker.has_value());
+    ASSERT_EQ(*blocker, *run + 16);
+    EXPECT_FALSE(alloc.expandInPlace(*run, 16, 1,
+                                     FrameKind::PageTable));
+    alloc.freeContig(*run, 16);
+    alloc.freePages(*blocker, 0);
+    alloc.checkConsistency();
+}
+
+TEST(Buddy, ShrinkInPlaceReleasesTail)
+{
+    BuddyAllocator alloc(1024);
+    auto run = alloc.allocContig(32, FrameKind::PageTable);
+    ASSERT_TRUE(run.has_value());
+    alloc.shrinkInPlace(*run, 32, 8);
+    EXPECT_EQ(alloc.kindOf(*run + 7), FrameKind::PageTable);
+    EXPECT_EQ(alloc.kindOf(*run + 8), FrameKind::Free);
+    alloc.freeContig(*run, 8);
+    EXPECT_EQ(alloc.freeFrames(), 1024u);
+    alloc.checkConsistency();
+}
+
+TEST(Buddy, FragmentationIndexTracksFragmentation)
+{
+    BuddyAllocator alloc(1 << 14);
+    // Pristine memory: high-order requests are satisfiable.
+    EXPECT_LT(alloc.fragmentationIndex(9), 0.0);
+    Fragmenter fragmenter(alloc);
+    fragmenter.fragment(0.4);
+    // Now only isolated frames are free: FMFI near 1 (paper: 0.99).
+    const double fi = alloc.fragmentationIndex(9);
+    EXPECT_GT(fi, 0.95);
+    fragmenter.release();
+    EXPECT_LT(alloc.fragmentationIndex(9), 0.0);
+}
+
+TEST(Buddy, CompactionCreatesContiguityAndInvokesHook)
+{
+    BuddyAllocator alloc(512);
+    // Alternate movable allocations and holes.
+    std::vector<Pfn> movable;
+    for (int i = 0; i < 256; ++i) {
+        auto a = alloc.allocPages(0, FrameKind::Movable);
+        auto b = alloc.allocPages(0, FrameKind::Unmovable);
+        ASSERT_TRUE(a && b);
+        movable.push_back(*a);
+    }
+    // Free the unmovable ones to create holes... they were pinned;
+    // instead free half the movable frames to fragment.
+    // Free every other *movable* frame.
+    for (std::size_t i = 0; i < movable.size(); i += 2)
+        alloc.freePages(movable[i], 0);
+
+    std::size_t hookCalls = 0;
+    alloc.setRelocationHook([&](Pfn, Pfn) { ++hookCalls; });
+    const auto moved = alloc.compact();
+    EXPECT_EQ(moved, hookCalls);
+    alloc.checkConsistency();
+}
+
+TEST(Buddy, RandomizedStressKeepsInvariants)
+{
+    Rng rng(123);
+    BuddyAllocator alloc(1 << 13);
+    std::vector<std::pair<Pfn, int>> live;
+    for (int step = 0; step < 4000; ++step) {
+        if (live.empty() || rng.below(100) < 60) {
+            const int order = static_cast<int>(rng.below(6));
+            auto pfn = alloc.allocPages(order, FrameKind::Movable);
+            if (pfn)
+                live.emplace_back(*pfn, order);
+        } else {
+            const auto idx = rng.below(live.size());
+            alloc.freePages(live[idx].first, live[idx].second);
+            live[idx] = live.back();
+            live.pop_back();
+        }
+        if (step % 500 == 0)
+            alloc.checkConsistency();
+    }
+    for (auto [pfn, order] : live)
+        alloc.freePages(pfn, order);
+    EXPECT_EQ(alloc.freeFrames(), Pfn{1} << 13);
+    alloc.checkConsistency();
+}
+
+} // namespace
+} // namespace dmt

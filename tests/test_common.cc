@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Unit tests for the common runtime: types/alignment helpers, the
+ * deterministic RNG (uniformity, Zipf skew, reproducibility), and
+ * the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace dmt
+{
+namespace
+{
+
+TEST(Types, PageGeometry)
+{
+    EXPECT_EQ(pageBytesOf(PageSize::Size4K), 4096u);
+    EXPECT_EQ(pageBytesOf(PageSize::Size2M), 2u * 1024 * 1024);
+    EXPECT_EQ(pageBytesOf(PageSize::Size1G), 1024u * 1024 * 1024);
+    EXPECT_EQ(pageAlignDown(0x12345678, PageSize::Size2M),
+              0x12200000u);
+    EXPECT_EQ(pageAlignUp(0x12345678, PageSize::Size2M), 0x12400000u);
+    EXPECT_EQ(pageAlignUp(0x12400000, PageSize::Size2M), 0x12400000u);
+    EXPECT_EQ(ptesPerPage, 512);
+}
+
+TEST(RngTest, DeterministicPerSeed)
+{
+    Rng a(42), b(42), c(43);
+    bool anyDiff = false;
+    for (int i = 0; i < 100; ++i) {
+        const auto v = a.next();
+        EXPECT_EQ(v, b.next());
+        anyDiff |= (v != c.next());
+    }
+    EXPECT_TRUE(anyDiff);
+}
+
+TEST(RngTest, BelowIsInRangeAndRoughlyUniform)
+{
+    Rng rng(1);
+    constexpr std::uint64_t bound = 10;
+    std::uint64_t histogram[bound] = {};
+    constexpr int n = 100'000;
+    for (int i = 0; i < n; ++i) {
+        const auto v = rng.below(bound);
+        ASSERT_LT(v, bound);
+        ++histogram[v];
+    }
+    for (auto count : histogram) {
+        EXPECT_GT(count, n / bound * 8 / 10);
+        EXPECT_LT(count, n / bound * 12 / 10);
+    }
+}
+
+TEST(RngTest, UniformIsInUnitInterval)
+{
+    Rng rng(2);
+    double sum = 0.0;
+    for (int i = 0; i < 10'000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(RngTest, ZipfIsSkewedTowardsLowRanks)
+{
+    Rng rng(3);
+    constexpr std::uint64_t n = 1'000'000;
+    int top1pct = 0;
+    constexpr int draws = 50'000;
+    for (int i = 0; i < draws; ++i) {
+        const auto r = rng.zipf(n, 0.99);
+        ASSERT_LT(r, n);
+        if (r < n / 100)
+            ++top1pct;
+    }
+    // Zipf(0.99): the top 1% of ranks draw far more than 1% of hits.
+    EXPECT_GT(top1pct, draws / 4);
+}
+
+TEST(Stats, ScalarTracksMoments)
+{
+    ScalarStat stat;
+    for (double v : {4.0, 8.0, 6.0})
+        stat.sample(v);
+    EXPECT_EQ(stat.count(), 3u);
+    EXPECT_DOUBLE_EQ(stat.sum(), 18.0);
+    EXPECT_DOUBLE_EQ(stat.mean(), 6.0);
+    EXPECT_DOUBLE_EQ(stat.min(), 4.0);
+    EXPECT_DOUBLE_EQ(stat.max(), 8.0);
+    stat.reset();
+    EXPECT_EQ(stat.count(), 0u);
+}
+
+TEST(Stats, HistogramBucketsAndPercentiles)
+{
+    Histogram h(10, 10.0);  // [0,100) in tens
+    for (int i = 0; i < 100; ++i)
+        h.sample(i);
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_EQ(h.bucket(0), 10u);
+    EXPECT_EQ(h.overflow(), 0u);
+    h.sample(1000.0);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_NEAR(h.percentile(0.5), 50.0, 10.0);
+}
+
+TEST(Stats, GeoMeanMatchesHandComputation)
+{
+    EXPECT_DOUBLE_EQ(geoMean({4.0, 1.0}), 2.0);
+    EXPECT_NEAR(geoMean({1.2, 1.5, 1.1}), 1.2557, 1e-3);
+    EXPECT_EQ(geoMean({}), 0.0);
+}
+
+TEST(Stats, GroupDumpAndLookup)
+{
+    StatGroup group("tlb");
+    group.scalar("hits").inc(5);
+    group.scalar("misses").inc();
+    EXPECT_TRUE(group.has("hits"));
+    EXPECT_FALSE(group.has("evictions"));
+    EXPECT_EQ(group.get("hits").count(), 1u);
+    std::ostringstream os;
+    group.dump(os);
+    EXPECT_NE(os.str().find("tlb.hits"), std::string::npos);
+}
+
+} // namespace
+} // namespace dmt

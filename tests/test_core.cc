@@ -1,0 +1,375 @@
+/**
+ * @file
+ * Unit tests for the DMT core: TEAs, the TEA manager (placement,
+ * expansion, migration, eviction), the register file, the mapping
+ * manager (clustering, merging, splitting under fragmentation), the
+ * gTEA table isolation checks, and the hypercall.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/dmt_fetcher.hh"
+#include "core/gtea_table.hh"
+#include "core/hypercall.hh"
+#include "core/mapping_manager.hh"
+#include "core/tea_manager.hh"
+#include "mem/physical_memory.hh"
+#include "os/address_space.hh"
+#include "os/fragmenter.hh"
+
+namespace dmt
+{
+namespace
+{
+
+TEST(Tea, ArithmeticMatchesSpanLayout)
+{
+    Tea tea;
+    tea.coverBase = 0x40000000;
+    tea.coverBytes = 4 * hugePageSize;  // 4 spans for 4K PTEs
+    tea.leafSize = PageSize::Size4K;
+    tea.basePfn = 0x1000;
+    EXPECT_EQ(tea.pages(), 4u);
+    EXPECT_TRUE(tea.covers(0x40000000));
+    EXPECT_TRUE(tea.covers(0x407fffff));
+    EXPECT_FALSE(tea.covers(0x40800000));
+    // PTE of the first page sits at the base.
+    EXPECT_EQ(tea.pteAddr(0x40000000), Addr{0x1000} << pageShift);
+    // Page 512 starts the second TEA page.
+    EXPECT_EQ(tea.pteAddr(0x40000000 + 512 * pageSize),
+              (Addr{0x1001} << pageShift));
+    EXPECT_EQ(tea.frameFor(0x40000000 + 3 * hugePageSize),
+              Pfn{0x1003});
+}
+
+struct CoreFixture : public ::testing::Test
+{
+    CoreFixture()
+        : mem(Addr{1} << 31), alloc((Addr{1} << 31) >> pageShift),
+          proc(mem, alloc, {}), source(alloc)
+    {
+    }
+
+    PhysicalMemory mem;
+    BuddyAllocator alloc;
+    AddressSpace proc;
+    LocalTeaSource source;
+};
+
+TEST_F(CoreFixture, TeaPlacesLeafTablesContiguously)
+{
+    TeaManager teas(proc.pageTable(), source);
+    const Tea *tea = teas.createTea(0x40000000, 8 * hugePageSize,
+                                    PageSize::Size4K);
+    ASSERT_NE(tea, nullptr);
+    proc.mmapAt(0x40000000, 8 * hugePageSize, VmaKind::Heap);
+    // Leaf PTE addresses computed by the TEA must equal the radix
+    // tree's actual leaf slots — the central DMT invariant.
+    for (Addr va = 0x40000000; va < 0x40000000 + 8 * hugePageSize;
+         va += 4097 * 13) {
+        const Addr page = pageAlignDown(va);
+        const auto slot =
+            proc.pageTable().leafPteAddr(page, PageSize::Size4K);
+        ASSERT_TRUE(slot.has_value());
+        EXPECT_EQ(*slot, tea->pteAddr(page));
+    }
+    EXPECT_EQ(teas.tablesInUse(0x40000000, PageSize::Size4K), 8u);
+    proc.munmap(0x40000000);
+}
+
+TEST_F(CoreFixture, TeaAdoptsPreexistingScatteredTables)
+{
+    // Populate first (scattered tables), then create the TEA.
+    proc.mmapAt(0x40000000, 4 * hugePageSize, VmaKind::Heap);
+    TeaManager teas(proc.pageTable(), source);
+    const Tea *tea = teas.createTea(0x40000000, 4 * hugePageSize,
+                                    PageSize::Size4K);
+    ASSERT_NE(tea, nullptr);
+    EXPECT_EQ(teas.stats().adoptedTables, 4u);
+    for (Addr va = 0x40000000; va < 0x40000000 + 4 * hugePageSize;
+         va += pageSize * 97) {
+        const Addr page = pageAlignDown(va);
+        const auto slot =
+            proc.pageTable().leafPteAddr(page, PageSize::Size4K);
+        EXPECT_EQ(*slot, tea->pteAddr(page));
+        // Translations survived the migration.
+        EXPECT_TRUE(proc.pageTable().translate(page).has_value());
+    }
+    proc.munmap(0x40000000);
+}
+
+TEST_F(CoreFixture, TeaExpandInPlaceAndByMigration)
+{
+    TeaManager teas(proc.pageTable(), source);
+    ASSERT_NE(teas.createTea(0x40000000, 2 * hugePageSize,
+                             PageSize::Size4K),
+              nullptr);
+    // In-place growth succeeds while the following frames are free.
+    const Tea *grown = teas.resizeTea(0x40000000, PageSize::Size4K,
+                                      0x40000000, 6 * hugePageSize);
+    ASSERT_NE(grown, nullptr);
+    EXPECT_EQ(teas.stats().expandsInPlace, 1u);
+    proc.mmapAt(0x40000000, 2 * hugePageSize, VmaKind::Heap);
+    // Force migration: grow downward (re-base).
+    const Tea *moved = teas.resizeTea(0x40000000, PageSize::Size4K,
+                                      0x40000000 - 2 * hugePageSize,
+                                      8 * hugePageSize);
+    ASSERT_NE(moved, nullptr);
+    EXPECT_EQ(teas.stats().migrations, 1u);
+    // Mappings still intact.
+    EXPECT_TRUE(proc.pageTable().translate(0x40000000).has_value());
+    proc.munmap(0x40000000);
+}
+
+TEST_F(CoreFixture, DeleteTeaEvictsLiveTables)
+{
+    TeaManager teas(proc.pageTable(), source);
+    teas.createTea(0x40000000, 2 * hugePageSize, PageSize::Size4K);
+    proc.mmapAt(0x40000000, 2 * hugePageSize, VmaKind::Heap);
+    teas.deleteTea(0x40000000, PageSize::Size4K);
+    // Translations survive on scattered tables.
+    EXPECT_TRUE(proc.pageTable()
+                    .translate(0x40000000 + hugePageSize)
+                    .has_value());
+    proc.munmap(0x40000000);
+    alloc.checkConsistency();
+}
+
+TEST(Registers, MatchBySizeClassAndCoverage)
+{
+    DmtRegisterFile regs;
+    DmtRegister r4k;
+    r4k.tea = {0x40000000, 4 * hugePageSize, PageSize::Size4K, 0x10};
+    DmtRegister r2m;
+    r2m.tea = {0x40000000, gigaPageSize, PageSize::Size2M, 0x20};
+    EXPECT_EQ(regs.load(r4k), 0);
+    EXPECT_EQ(regs.load(r2m), 1);
+    EXPECT_EQ(regs.used(), 2);
+    const DmtRegister *out[3];
+    EXPECT_EQ(regs.matchAll(0x40100000, out), 2);
+    EXPECT_NE(out[0], nullptr);  // 4K class
+    EXPECT_NE(out[1], nullptr);  // 2M class
+    EXPECT_EQ(out[2], nullptr);
+    EXPECT_EQ(regs.match(0x40100000, PageSize::Size4K)->tea.basePfn,
+              0x10u);
+    regs.clear(0);
+    EXPECT_EQ(regs.matchAll(0x40100000, out), 1);
+}
+
+TEST(Registers, FullFileRejectsLoads)
+{
+    DmtRegisterFile regs;
+    for (int i = 0; i < DmtRegisterFile::capacity; ++i) {
+        DmtRegister r;
+        r.tea = {Addr(i) * gigaPageSize, hugePageSize,
+                 PageSize::Size4K, 1};
+        EXPECT_GE(regs.load(r), 0);
+    }
+    DmtRegister extra;
+    extra.tea = {Addr{99} * gigaPageSize, hugePageSize,
+                 PageSize::Size4K, 1};
+    EXPECT_EQ(regs.load(extra), -1);
+}
+
+TEST_F(CoreFixture, MappingManagerCoversWorkloadVmas)
+{
+    TeaManager teas(proc.pageTable(), source);
+    DmtRegisterFile regs;
+    MappingManager manager(proc, teas, regs, {});
+    proc.mmapAt(0x40000000, 16 * hugePageSize, VmaKind::Heap);
+    proc.mmapAt(0x50000000, 4 * hugePageSize, VmaKind::Data);
+    EXPECT_EQ(manager.clusters().size(), 2u);
+    EXPECT_EQ(regs.used(), 2);
+    // Every mapped page is covered by a register mapping whose TEA
+    // points at the true leaf PTE.
+    const DmtRegister *out[3];
+    for (Addr va : {Addr{0x40000000}, Addr{0x40000000 + 31 * 4096},
+                    Addr{0x50000000}}) {
+        ASSERT_EQ(regs.matchAll(va, out), 1);
+        const auto slot =
+            proc.pageTable().leafPteAddr(va, PageSize::Size4K);
+        EXPECT_EQ(*slot, out[0]->tea.pteAddr(va));
+    }
+}
+
+TEST_F(CoreFixture, MappingManagerMergesCloseVmas)
+{
+    TeaManager teas(proc.pageTable(), source);
+    DmtRegisterFile regs;
+    MappingManager manager(proc, teas, regs, {});
+    // Two VMAs 8 KB apart (bubble well under 2%).
+    proc.mmapAt(0x40000000, 2 * hugePageSize, VmaKind::Data);
+    proc.mmapAt(0x40000000 + 2 * hugePageSize + 2 * pageSize,
+                2 * hugePageSize, VmaKind::Data);
+    EXPECT_EQ(manager.clusters().size(), 1u);
+    EXPECT_EQ(manager.clusters()[0].members, 2);
+    // One TEA covers both.
+    EXPECT_EQ(teas.all().size(), 1u);
+}
+
+TEST_F(CoreFixture, MappingManagerKeepsFarVmasApart)
+{
+    TeaManager teas(proc.pageTable(), source);
+    DmtRegisterFile regs;
+    MappingManager manager(proc, teas, regs, {});
+    proc.mmapAt(0x40000000, 2 * hugePageSize, VmaKind::Data);
+    proc.mmapAt(0x80000000, 2 * hugePageSize, VmaKind::Data);
+    EXPECT_EQ(manager.clusters().size(), 2u);
+    EXPECT_EQ(teas.all().size(), 2u);
+}
+
+TEST(MappingManagerStatic, ClusterVmasHonoursThreshold)
+{
+    std::vector<Vma> vmas = {
+        {0x1000000, 0x200000, VmaKind::Data},
+        // 8 KB bubble: merges at 2%.
+        {0x1202000, 0x200000, VmaKind::Data},
+        // Huge gap: new cluster.
+        {0x9000000, 0x200000, VmaKind::Data},
+    };
+    auto clusters = MappingManager::clusterVmas(vmas, 0.02);
+    ASSERT_EQ(clusters.size(), 2u);
+    EXPECT_EQ(clusters[0].members, 2);
+    EXPECT_EQ(clusters[1].members, 1);
+    // With a zero threshold nothing merges.
+    clusters = MappingManager::clusterVmas(vmas, 0.0);
+    EXPECT_EQ(clusters.size(), 3u);
+}
+
+TEST(MappingManagerFragmented, SplitsOnContiguityFailure)
+{
+    PhysicalMemory mem(Addr{256} << 20);
+    BuddyAllocator alloc((Addr{256} << 20) >> pageShift);
+    AddressSpace proc(mem, alloc, {});
+    // Fragment so that multi-page contiguous runs are scarce but
+    // single pages abound.
+    Fragmenter fragmenter(alloc);
+    fragmenter.fragment(0.45);
+    LocalTeaSource source(alloc);
+    TeaManager teas(proc.pageTable(), source);
+    DmtRegisterFile regs;
+    MappingManager manager(proc, teas, regs, {});
+    // A VMA needing a 16-page TEA cannot get one run; the mapping is
+    // split into single-span TEAs (§4.2.2).
+    proc.mmapAt(0x40000000, 16 * hugePageSize, VmaKind::Heap);
+    EXPECT_GT(manager.stats().splits, 0u);
+    EXPECT_GT(teas.all().size(), 1u);
+    // Placement invariant still holds for every covered page.
+    for (Addr va = 0x40000000; va < 0x40000000 + 16 * hugePageSize;
+         va += hugePageSize) {
+        const Tea *tea = teas.lookup(va, PageSize::Size4K);
+        if (!tea)
+            continue;  // uncovered pieces fall back to the walker
+        const auto slot =
+            proc.pageTable().leafPteAddr(va, PageSize::Size4K);
+        EXPECT_EQ(*slot, tea->pteAddr(va));
+    }
+}
+
+TEST(GteaTable, IsolationChecks)
+{
+    GteaTable table;
+    const int id = table.add(0x1000, 4);  // 4 pages = 2048 PTEs
+    EXPECT_EQ(table.liveEntries(), 1u);
+    // Valid resolution.
+    auto pa = table.resolvePte(id, 0);
+    ASSERT_TRUE(pa.has_value());
+    EXPECT_EQ(*pa, Addr{0x1000} << pageShift);
+    pa = table.resolvePte(id, 2047);
+    EXPECT_TRUE(pa.has_value());
+    // Out-of-bounds index: host fault.
+    EXPECT_FALSE(table.resolvePte(id, 2048).has_value());
+    // Invalid IDs: host fault.
+    EXPECT_FALSE(table.resolvePte(id + 1, 0).has_value());
+    EXPECT_FALSE(table.resolvePte(-1, 0).has_value());
+    EXPECT_EQ(table.faults(), 3u);
+    table.remove(id);
+    EXPECT_FALSE(table.resolvePte(id, 0).has_value());
+}
+
+TEST(Hypercall, AllocTeaSplicesHostContiguousFrames)
+{
+    PhysicalMemory hostMem(Addr{1} << 31);
+    BuddyAllocator hostAlloc((Addr{1} << 31) >> pageShift);
+    VmConfig vmCfg;
+    vmCfg.vmBytes = Addr{256} << 20;
+    VirtualMachine vm(hostMem, hostAlloc, vmCfg);
+    GteaTable table;
+    TeaHypercall hypercall(vm, hostAlloc, table);
+
+    const auto grant = hypercall.allocTea(16);
+    ASSERT_TRUE(grant.has_value());
+    EXPECT_EQ(grant->pages, 16u);
+    EXPECT_GE(grant->gteaId, 0);
+    // The spliced gPA run resolves to the contiguous host run.
+    for (std::uint64_t i = 0; i < 16; ++i) {
+        const Addr gpa = (grant->gpaBasePfn + i) << pageShift;
+        EXPECT_EQ(vm.gpaToHostPa(gpa),
+                  (grant->hostBasePfn + i) << pageShift);
+    }
+    // The gTEA table resolves PTE indices into the host run.
+    const auto pte0 = table.resolvePte(grant->gteaId, 0);
+    EXPECT_EQ(*pte0, grant->hostBasePfn << pageShift);
+    EXPECT_GT(hypercall.simulatedCost(), 0u);
+}
+
+TEST(Hypercall, PvSourceRoundTrip)
+{
+    PhysicalMemory hostMem(Addr{1} << 31);
+    BuddyAllocator hostAlloc((Addr{1} << 31) >> pageShift);
+    VmConfig vmCfg;
+    vmCfg.vmBytes = Addr{256} << 20;
+    VirtualMachine vm(hostMem, hostAlloc, vmCfg);
+    GteaTable table;
+    TeaHypercall hypercall(vm, hostAlloc, table);
+    PvTeaSource source(hypercall, vm.guestAllocator());
+    auto backing = source.alloc(8);
+    ASSERT_TRUE(backing.has_value());
+    EXPECT_GE(backing->gteaId, 0);
+    EXPECT_FALSE(source.expand(*backing, 1));
+    source.free(*backing);
+    EXPECT_EQ(table.liveEntries(), 0u);
+}
+
+} // namespace
+} // namespace dmt
+
+namespace dmt
+{
+namespace
+{
+
+TEST(Hypercall, ResplicingOverAnOldGrantDoesNotDoubleFree)
+{
+    // Regression: a guest TEA is freed (its gPA run returns to the
+    // guest allocator) and a later grant reuses the same gPAs. The
+    // re-splice displaces the *first grant's* host frames, which the
+    // hypercall still owns — they must not be freed twice (once by
+    // replaceBacking, once by the hypercall teardown).
+    PhysicalMemory hostMem(Addr{1} << 30);
+    BuddyAllocator hostAlloc((Addr{1} << 30) >> pageShift);
+    VmConfig vmCfg;
+    vmCfg.vmBytes = Addr{64} << 20;
+    {
+        VirtualMachine vm(hostMem, hostAlloc, vmCfg);
+        GteaTable table;
+        TeaHypercall hypercall(vm, hostAlloc, table);
+        PvTeaSource source(hypercall, vm.guestAllocator());
+        auto first = source.alloc(8);
+        ASSERT_TRUE(first.has_value());
+        const Pfn firstGpa = first->basePfn;
+        source.free(*first);  // gPA run returns to the guest buddy
+        // First-fit reuses the same guest frames.
+        auto second = source.alloc(8);
+        ASSERT_TRUE(second.has_value());
+        EXPECT_EQ(second->basePfn, firstGpa);
+        source.free(*second);
+        // Teardown (hypercall then VM) must free every host frame
+        // exactly once.
+    }
+    hostAlloc.checkConsistency();
+    EXPECT_EQ(hostAlloc.freeFrames(), (Addr{1} << 30) >> pageShift);
+}
+
+} // namespace
+} // namespace dmt

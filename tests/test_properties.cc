@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Additional property suites: VMA-change accommodation (§4.2.3),
+ * directProbe micro-behaviour, buddy order sweeps, TLB/cache
+ * geometry sweeps, EPT huge pages in the nested walker, and
+ * calibration sanity against the paper's reported averages.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+#include "core/dmt_fetcher.hh"
+#include "core/mapping_manager.hh"
+#include "mem/physical_memory.hh"
+#include "sim/testbed.hh"
+#include "virt/nested_walker.hh"
+#include "workloads/workloads.hh"
+
+namespace dmt
+{
+namespace
+{
+
+// ------------------------------------------------- §4.2.3 VMA changes
+
+struct GrowFixture : public ::testing::Test
+{
+    GrowFixture()
+        : mem(Addr{1} << 31), alloc((Addr{1} << 31) >> pageShift),
+          proc(mem, alloc, {}), source(alloc),
+          teas(proc.pageTable(), source),
+          manager(proc, teas, regs, {})
+    {
+    }
+
+    PhysicalMemory mem;
+    BuddyAllocator alloc;
+    AddressSpace proc;
+    LocalTeaSource source;
+    TeaManager teas;
+    DmtRegisterFile regs;
+    MappingManager manager;
+};
+
+TEST_F(GrowFixture, VmaGrowthExpandsTheTea)
+{
+    proc.mmapAt(0x40000000, 4 * hugePageSize, VmaKind::Heap);
+    const Tea *before = teas.lookup(0x40000000, PageSize::Size4K);
+    ASSERT_NE(before, nullptr);
+    const Addr coverBefore = before->coverBytes;
+
+    proc.growVma(0x40000000, 12 * hugePageSize);
+    const Tea *after = teas.lookup(0x40000000, PageSize::Size4K);
+    ASSERT_NE(after, nullptr);
+    EXPECT_GT(after->coverBytes, coverBefore);
+    // Every page of the grown VMA keeps the placement invariant.
+    for (Addr va = 0x40000000; va < 0x40000000 + 12 * hugePageSize;
+         va += hugePageSize) {
+        const auto slot =
+            proc.pageTable().leafPteAddr(va, PageSize::Size4K);
+        ASSERT_TRUE(slot.has_value());
+        EXPECT_EQ(*slot, after->pteAddr(va));
+    }
+    EXPECT_GE(teas.stats().expandsInPlace + teas.stats().migrations,
+              1u);
+}
+
+TEST_F(GrowFixture, VmaShrinkAndDestroyShrinkTheTeaSet)
+{
+    proc.mmapAt(0x40000000, 8 * hugePageSize, VmaKind::Heap);
+    proc.vmas().shrink(0x40000000, 2 * hugePageSize);
+    const Tea *tea = teas.lookup(0x40000000, PageSize::Size4K);
+    ASSERT_NE(tea, nullptr);
+    EXPECT_EQ(tea->coverBytes, 2 * hugePageSize);
+    proc.munmap(0x40000000);
+    EXPECT_TRUE(teas.all().empty());
+    EXPECT_EQ(regs.used(), 0);
+}
+
+TEST_F(GrowFixture, SplitVmaKeepsOneCluster)
+{
+    proc.mmapAt(0x40000000, 8 * hugePageSize, VmaKind::Heap);
+    proc.vmas().split(0x40000000, 0x40000000 + 4 * hugePageSize);
+    // Two adjacent VMAs: still one cluster, one TEA.
+    EXPECT_EQ(manager.clusters().size(), 1u);
+    EXPECT_EQ(teas.all().size(), 1u);
+}
+
+// ---------------------------------------------- directProbe behaviour
+
+struct ProbeFixture : public ::testing::Test
+{
+    ProbeFixture() : mem(Addr{1} << 30) {}
+
+    PhysicalMemory mem;
+    MemoryHierarchy caches;
+    DmtRegisterFile regs;
+};
+
+TEST_F(ProbeFixture, MissWithoutMatchingRegister)
+{
+    const DirectProbe probe =
+        directProbe(regs, mem, caches, 0x1234000, nullptr);
+    EXPECT_FALSE(probe.matched);
+    EXPECT_FALSE(probe.present);
+    EXPECT_EQ(probe.probes, 0);
+}
+
+TEST_F(ProbeFixture, FindsPresentLeafInCoveredTea)
+{
+    DmtRegister reg;
+    reg.tea = {0x40000000, 2 * hugePageSize, PageSize::Size4K,
+               0x100};
+    regs.load(reg);
+    // Plant a leaf PTE for page 5 of the VMA.
+    const Addr va = 0x40000000 + 5 * pageSize;
+    mem.write64(reg.tea.pteAddr(va), makePte(0x77, 1 /*present*/));
+    const DirectProbe probe =
+        directProbe(regs, mem, caches, va, nullptr);
+    EXPECT_TRUE(probe.matched);
+    EXPECT_TRUE(probe.present);
+    EXPECT_EQ(ptePfn(probe.pte), 0x77u);
+    EXPECT_EQ(probe.probes, 1);
+    // A neighbouring page with no PTE: matched but not present.
+    const DirectProbe miss =
+        directProbe(regs, mem, caches, va + pageSize, nullptr);
+    EXPECT_TRUE(miss.matched);
+    EXPECT_FALSE(miss.present);
+}
+
+TEST_F(ProbeFixture, HugeTeaIgnoresNonLeafEntries)
+{
+    DmtRegister reg2m;
+    reg2m.tea = {0x40000000, gigaPageSize, PageSize::Size2M, 0x200};
+    regs.load(reg2m);
+    const Addr va = 0x40000000 + 3 * hugePageSize + 0x123;
+    // A present but non-huge entry at the 2M slot is a table
+    // pointer, not a leaf: must not be returned.
+    mem.write64(reg2m.tea.pteAddr(va), makePte(0x99, 1));
+    DirectProbe probe = directProbe(regs, mem, caches, va, nullptr);
+    EXPECT_TRUE(probe.matched);
+    EXPECT_FALSE(probe.present);
+    // With the PS bit it is a leaf.
+    mem.write64(reg2m.tea.pteAddr(va),
+                makePte(0x99, 1 | pte_flags::pageSize));
+    probe = directProbe(regs, mem, caches, va, nullptr);
+    EXPECT_TRUE(probe.present);
+    EXPECT_EQ(probe.size, PageSize::Size2M);
+}
+
+TEST_F(ProbeFixture, ParallelProbeReturnsTheWinningSize)
+{
+    DmtRegister r4k;
+    r4k.tea = {0x40000000, gigaPageSize, PageSize::Size4K, 0x300};
+    DmtRegister r2m;
+    r2m.tea = {0x40000000, gigaPageSize, PageSize::Size2M, 0x500};
+    regs.load(r4k);
+    regs.load(r2m);
+    const Addr va = 0x40000000 + hugePageSize + 7 * pageSize;
+    mem.write64(r4k.tea.pteAddr(va), makePte(0x11, 1));
+    const DirectProbe probe =
+        directProbe(regs, mem, caches, va, nullptr);
+    EXPECT_EQ(probe.probes, 2);
+    EXPECT_TRUE(probe.present);
+    EXPECT_EQ(probe.size, PageSize::Size4K);
+    EXPECT_EQ(ptePfn(probe.pte), 0x11u);
+}
+
+// ------------------------------------------------- geometry sweeps
+
+class BuddyOrderSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BuddyOrderSweep, AlignedAllocationAndCleanFree)
+{
+    const int order = GetParam();
+    BuddyAllocator alloc(1 << 12);
+    const auto pfn = alloc.allocPages(order, FrameKind::Movable);
+    ASSERT_TRUE(pfn.has_value());
+    EXPECT_EQ(*pfn % (Pfn{1} << order), 0u);
+    EXPECT_EQ(alloc.freeFrames(), (Pfn{1} << 12) - (Pfn{1} << order));
+    alloc.freePages(*pfn, order);
+    EXPECT_EQ(alloc.freeFrames(), Pfn{1} << 12);
+    alloc.checkConsistency();
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, BuddyOrderSweep,
+                         ::testing::Values(0, 1, 2, 3, 5, 7, 9, 11));
+
+class TlbGeometrySweep
+    : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(TlbGeometrySweep, CapacityNeverExceeded)
+{
+    const auto [entries, assoc] = GetParam();
+    Tlb tlb({"t", entries, assoc});
+    // Insert 4x capacity; at most `entries` can hit afterwards.
+    const int n = entries * 4;
+    for (int i = 0; i < n; ++i)
+        tlb.insert(Addr(i) << pageShift, PageSize::Size4K);
+    int hits = 0;
+    for (int i = 0; i < n; ++i) {
+        if (tlb.lookup(Addr(i) << pageShift))
+            ++hits;
+    }
+    EXPECT_LE(hits, entries);
+    EXPECT_GT(hits, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, TlbGeometrySweep,
+    ::testing::Values(std::pair{16, 4}, std::pair{64, 4},
+                      std::pair{128, 8}, std::pair{1536, 12},
+                      std::pair{96, 12}));
+
+class CacheGeometrySweep
+    : public ::testing::TestWithParam<std::pair<Addr, int>>
+{
+};
+
+TEST_P(CacheGeometrySweep, LinesNeverExceedCapacity)
+{
+    const auto [size, assoc] = GetParam();
+    Cache cache({"t", size, assoc, 64, 1});
+    const Addr lines = size / 64;
+    for (Addr i = 0; i < lines * 3; ++i)
+        cache.insert(i * 64);
+    Addr resident = 0;
+    for (Addr i = 0; i < lines * 3; ++i)
+        resident += cache.probe(i * 64) ? 1 : 0;
+    EXPECT_LE(resident, lines);
+    EXPECT_GT(resident, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometrySweep,
+    ::testing::Values(std::pair{Addr{2048}, 8},
+                      std::pair{Addr{32 * 1024}, 8},
+                      std::pair{Addr{64 * 1024}, 16},
+                      std::pair{Addr{1408 * 1024}, 11}));
+
+// --------------------------------------------------- EPT huge pages
+
+TEST(NestedHuge, HostHugePagesShortenTheHostDimension)
+{
+    PhysicalMemory hostMem(Addr{2} << 30);
+    BuddyAllocator hostAlloc((Addr{2} << 30) >> pageShift);
+    VmConfig cfg;
+    cfg.vmBytes = Addr{512} << 20;
+    cfg.hostThp = ThpMode::Always;  // 2M EPT entries
+    VirtualMachine vm(hostMem, hostAlloc, cfg);
+    vm.guestSpace().mmapAt(0x10000000, 64 * pageSize, VmaKind::Heap);
+    MemoryHierarchy caches;
+    PwcConfig pwc;
+    pwc.entriesForL3Table = 1;
+    pwc.entriesForL2Table = 1;
+    pwc.entriesForL1Table = 1;
+    NestedWalker walker(
+        vm.guestSpace().pageTable(), vm.containerSpace().pageTable(),
+        [&](Addr gpa) { return vm.gpaToHva(gpa); }, caches, pwc);
+    walker.flush();
+    const WalkRecord rec = walker.walk(0x10000000);
+    // Host walks terminate at hL2 (huge leaf): at most 3 host refs
+    // per host walk instead of 4 -> strictly fewer than the 24 max.
+    EXPECT_LT(rec.seqRefs, 24);
+    EXPECT_EQ(rec.pa, walker.resolve(0x10000000));
+}
+
+// ---------------------------------------------- calibration sanity
+
+TEST(CalibrationSanity, GeomeansTrackFigure4Averages)
+{
+    std::vector<double> virtTotals, nestedTotals, natWalk;
+    for (const auto &wl : makePaperWorkloads(1.0 / 1024.0)) {
+        const Calibration &cal = wl->calibration();
+        virtTotals.push_back(cal.virtNptTotal);
+        nestedTotals.push_back(cal.nestedTotal);
+        natWalk.push_back(cal.nativeWalkFraction);
+        // Per-workload invariants.
+        EXPECT_GT(cal.virtSptTotal, cal.virtNptTotal);
+        EXPECT_GT(cal.nestedTotal, cal.virtNptTotal);
+        EXPECT_GT(cal.virtNptWalkFraction, cal.nativeWalkFraction);
+    }
+    EXPECT_NEAR(geoMean(virtTotals), 1.46, 0.08);
+    EXPECT_NEAR(geoMean(nestedTotals), 4.13, 0.40);
+    EXPECT_NEAR(geoMean(natWalk), 0.21, 0.05);
+}
+
+} // namespace
+} // namespace dmt

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Unit and property tests for the radix page table: mapping,
+ * translation, walk paths, huge pages, promotion/demotion, table
+ * pruning, leaf relocation, and 5-level trees.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "common/rng.hh"
+#include "mem/physical_memory.hh"
+#include "os/buddy_allocator.hh"
+#include "pt/radix_page_table.hh"
+
+namespace dmt
+{
+namespace
+{
+
+struct PtFixture : public ::testing::Test
+{
+    PtFixture() : mem(Addr{1} << 32), alloc((Addr{1} << 32) >> 12) {}
+
+    PhysicalMemory mem;
+    BuddyAllocator alloc;
+};
+
+TEST_F(PtFixture, MapTranslateUnmap)
+{
+    RadixPageTable pt(mem, alloc);
+    pt.map(0x12345000, 0x777);
+    const auto tr = pt.translate(0x12345abc);
+    ASSERT_TRUE(tr.has_value());
+    EXPECT_EQ(tr->pfn, 0x777u);
+    EXPECT_EQ(tr->size, PageSize::Size4K);
+    EXPECT_EQ(tr->pa, (Addr{0x777} << 12) + 0xabc);
+    pt.unmap(0x12345000);
+    EXPECT_FALSE(pt.translate(0x12345abc).has_value());
+}
+
+TEST_F(PtFixture, WalkPathHasFourLevelsAndEndsAtLeaf)
+{
+    RadixPageTable pt(mem, alloc);
+    pt.map(0x40000000, 0x88);
+    const auto path = pt.walkPath(0x40000123);
+    ASSERT_EQ(path.size(), 4u);
+    EXPECT_EQ(path[0].level, 4);
+    EXPECT_EQ(path[3].level, 1);
+    EXPECT_TRUE(pteIsPresent(path[3].pte));
+    EXPECT_EQ(ptePfn(path[3].pte), 0x88u);
+    // Walk of an unmapped address terminates early.
+    const auto miss = pt.walkPath(Addr{1} << 45);
+    EXPECT_FALSE(pteIsPresent(miss.back().pte));
+}
+
+TEST_F(PtFixture, HugePagesTranslateAndShortenWalks)
+{
+    RadixPageTable pt(mem, alloc);
+    pt.map(0x40000000, 0x800, PageSize::Size2M);
+    pt.map(Addr{0x80000000}, 0x40000, PageSize::Size1G);
+    auto tr = pt.translate(0x401fffff);
+    ASSERT_TRUE(tr.has_value());
+    EXPECT_EQ(tr->size, PageSize::Size2M);
+    EXPECT_EQ(tr->pa, (Addr{0x800} << 12) + 0x1fffff);
+    EXPECT_EQ(pt.walkPath(0x40012345).size(), 3u);
+    tr = pt.translate(0x80000000ull + 12345);
+    ASSERT_TRUE(tr.has_value());
+    EXPECT_EQ(tr->size, PageSize::Size1G);
+    EXPECT_EQ(pt.walkPath(0x80000000ull).size(), 2u);
+}
+
+TEST_F(PtFixture, LeafPteAddrMatchesWalkPath)
+{
+    RadixPageTable pt(mem, alloc);
+    pt.map(0x7f0000001000, 0x99);
+    const auto addr = pt.leafPteAddr(0x7f0000001234, PageSize::Size4K);
+    const auto path = pt.walkPath(0x7f0000001234);
+    ASSERT_TRUE(addr.has_value());
+    EXPECT_EQ(*addr, path.back().pteAddr);
+}
+
+TEST_F(PtFixture, EmptyTablesArePruned)
+{
+    RadixPageTable pt(mem, alloc);
+    const auto before = pt.tablePages();
+    pt.map(0x50000000, 0x1);
+    EXPECT_EQ(pt.tablePages(), before + 3);  // L3, L2, L1 created
+    pt.unmap(0x50000000);
+    EXPECT_EQ(pt.tablePages(), before);
+    EXPECT_EQ(pt.mappedLeaves(), 0u);
+}
+
+TEST_F(PtFixture, PromoteAndDemote2M)
+{
+    RadixPageTable pt(mem, alloc);
+    // 512 contiguous, aligned frames.
+    const auto frames = alloc.allocPages(9, FrameKind::Movable);
+    ASSERT_TRUE(frames.has_value());
+    for (int i = 0; i < 512; ++i)
+        pt.map(0x40000000 + Addr{i} * pageSize, *frames + i);
+    EXPECT_TRUE(pt.promote2M(0x40000000));
+    auto tr = pt.translate(0x40000000 + 0x12345);
+    ASSERT_TRUE(tr.has_value());
+    EXPECT_EQ(tr->size, PageSize::Size2M);
+    EXPECT_EQ(tr->pa, ((*frames) << 12) + 0x12345);
+
+    EXPECT_TRUE(pt.demote2M(0x40000000));
+    tr = pt.translate(0x40000000 + 0x12345);
+    ASSERT_TRUE(tr.has_value());
+    EXPECT_EQ(tr->size, PageSize::Size4K);
+    EXPECT_EQ(tr->pa, ((*frames) << 12) + 0x12345);
+}
+
+TEST_F(PtFixture, PromoteRefusesNonContiguousFrames)
+{
+    RadixPageTable pt(mem, alloc);
+    for (int i = 0; i < 512; ++i)
+        pt.map(0x40000000 + Addr{i} * pageSize,
+               static_cast<Pfn>(1000 + 2 * i));  // gaps
+    EXPECT_FALSE(pt.promote2M(0x40000000));
+}
+
+TEST_F(PtFixture, UpdateLeafRewritesFrame)
+{
+    RadixPageTable pt(mem, alloc);
+    pt.map(0x60000000, 0x111);
+    pt.updateLeaf(0x60000000, 0x222);
+    EXPECT_EQ(pt.translate(0x60000000)->pfn, 0x222u);
+}
+
+TEST_F(PtFixture, RelocateLeafTablePreservesTranslations)
+{
+    RadixPageTable pt(mem, alloc);
+    for (int i = 0; i < 16; ++i)
+        pt.map(0x40000000 + Addr{i} * pageSize, 0x500 + i);
+    const auto fresh = alloc.allocPages(0, FrameKind::PageTable);
+    ASSERT_TRUE(fresh.has_value());
+    pt.relocateLeafTable(0x40000000, 1, *fresh);
+    for (int i = 0; i < 16; ++i) {
+        const auto tr = pt.translate(0x40000000 + Addr{i} * pageSize);
+        ASSERT_TRUE(tr.has_value());
+        EXPECT_EQ(tr->pfn, Pfn(0x500 + i));
+    }
+    // The leaf PTEs now live in the new frame.
+    const auto addr = pt.leafPteAddr(0x40000000, PageSize::Size4K);
+    EXPECT_EQ(*addr >> 12, *fresh);
+}
+
+TEST_F(PtFixture, FiveLevelTreeTranslates)
+{
+    RadixPageTable pt(mem, alloc, 5);
+    const Addr va = Addr{1} << 52;  // needs the 5th level
+    pt.map(va, 0x1234);
+    const auto tr = pt.translate(va + 5);
+    ASSERT_TRUE(tr.has_value());
+    EXPECT_EQ(tr->pa, (Addr{0x1234} << 12) + 5);
+    EXPECT_EQ(pt.walkPath(va).size(), 5u);
+}
+
+TEST_F(PtFixture, RandomizedMappingsAgainstReferenceModel)
+{
+    RadixPageTable pt(mem, alloc);
+    Rng rng(77);
+    std::unordered_map<Addr, Pfn> model;
+    for (int i = 0; i < 20'000; ++i) {
+        const Addr va = (rng.below(1ull << 25)) << pageShift;
+        if (model.count(va)) {
+            pt.unmap(va);
+            model.erase(va);
+        } else {
+            const Pfn pfn = rng.below(1ull << 20);
+            pt.map(va, pfn);
+            model[va] = pfn;
+        }
+    }
+    for (const auto &[va, pfn] : model) {
+        const auto tr = pt.translate(va);
+        ASSERT_TRUE(tr.has_value());
+        EXPECT_EQ(tr->pfn, pfn);
+    }
+    EXPECT_EQ(pt.mappedLeaves(), model.size());
+}
+
+/** Parameterized sweep: leaf size invariants. */
+class PtSizeSweep : public ::testing::TestWithParam<PageSize>
+{
+};
+
+TEST_P(PtSizeSweep, SpanAndLevelInvariants)
+{
+    const PageSize size = GetParam();
+    const int level = RadixPageTable::leafLevel(size);
+    EXPECT_EQ(RadixPageTable::spanBytes(level),
+              pageBytesOf(size) * 512);
+    // The leaf PTE of an aligned va sits at a slot matching the
+    // radix index.
+    PhysicalMemory mem(Addr{1} << 32);
+    BuddyAllocator alloc((Addr{1} << 32) >> 12);
+    RadixPageTable pt(mem, alloc);
+    const Addr va = pageBytesOf(size) * 3;
+    pt.map(va, 0x7000, size);
+    const auto slot = pt.leafPteAddr(va, size);
+    ASSERT_TRUE(slot.has_value());
+    EXPECT_EQ((*slot & pageMask) / pteSize,
+              static_cast<Addr>(RadixPageTable::indexAt(va, level)));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSizes, PtSizeSweep,
+                         ::testing::Values(PageSize::Size4K,
+                                           PageSize::Size2M,
+                                           PageSize::Size1G));
+
+} // namespace
+} // namespace dmt

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Tests for the simulation layer: the translation simulator, the §5
+ * execution-time model, structure scaling, and workload properties
+ * (footprints, VMA geometry, trace containment, determinism).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/exec_model.hh"
+#include "sim/testbed.hh"
+#include "sim/translation_sim.hh"
+#include "workloads/workloads.hh"
+
+namespace dmt
+{
+namespace
+{
+
+TEST(ExecModel, BaselineReproducesItself)
+{
+    Calibration cal;
+    // Target == vanilla -> modeled time == measured total.
+    for (Environment env :
+         {Environment::Native, Environment::VirtNested,
+          Environment::VirtShadow, Environment::NestedVirt}) {
+        const double t = modelExecTime(cal, env, 100.0, 100.0);
+        EXPECT_DOUBLE_EQ(t, baselineTotal(cal, env));
+    }
+}
+
+TEST(ExecModel, HalvingWalkOverheadShrinksOnlyTheWalkPart)
+{
+    Calibration cal;
+    const double t =
+        modelExecTime(cal, Environment::VirtNested, 100.0, 50.0);
+    const double walk =
+        baselineWalkOverhead(cal, Environment::VirtNested);
+    EXPECT_NEAR(t, baselineTotal(cal, Environment::VirtNested) -
+                       walk / 2.0,
+                1e-12);
+}
+
+TEST(ExecModel, RemovingShadowShedsExitOverhead)
+{
+    Calibration cal;
+    const double keep = modelExecTime(
+        cal, Environment::NestedVirt, 100.0, 100.0, false);
+    const double shed = modelExecTime(
+        cal, Environment::NestedVirt, 100.0, 100.0, true, 0.0);
+    EXPECT_LT(shed, keep);
+    EXPECT_NEAR(keep - shed,
+                cal.nestedTotal * cal.nestedShadowFraction, 1e-12);
+    // Agile-style partial retention sheds less.
+    const double partial = modelExecTime(
+        cal, Environment::NestedVirt, 100.0, 100.0, true, 0.5);
+    EXPECT_GT(partial, shed);
+    EXPECT_LT(partial, keep);
+}
+
+TEST(ExecModel, ZeroVanillaOverheadDegradesGracefully)
+{
+    Calibration cal;
+    const double t =
+        modelExecTime(cal, Environment::Native, 0.0, 0.0);
+    EXPECT_DOUBLE_EQ(t, 1.0);
+}
+
+TEST(StructureScaling, PreservesGeometryAndClampsAtMinimum)
+{
+    const TestbedConfig full = scaledTestbedConfig(1.0);
+    EXPECT_EQ(full.stlb.entries, 1536);
+    EXPECT_EQ(full.hierarchy.llc.sizeBytes, 22u * 1024 * 1024);
+
+    const TestbedConfig s16 = scaledTestbedConfig(1.0 / 16.0);
+    EXPECT_EQ(s16.stlb.entries, 96);
+    EXPECT_EQ(s16.stlb.associativity, 12);
+    EXPECT_EQ(s16.hierarchy.l1d.associativity, 8);
+    EXPECT_EQ(s16.hierarchy.llc.sizeBytes,
+              22u * 1024 * 1024 / 16);
+    EXPECT_EQ(s16.pwc.entriesForL1Table, 2);
+
+    // Extreme scaling clamps but never reaches zero.
+    const TestbedConfig tiny = scaledTestbedConfig(1.0 / 4096.0);
+    EXPECT_GE(tiny.l1dTlb.entries, tiny.l1dTlb.associativity);
+    EXPECT_GE(tiny.pwc.entriesForL3Table, 1);
+    EXPECT_GT(tiny.hierarchy.l1d.sizeBytes, 0u);
+}
+
+TEST(Simulator, CountsAreConsistent)
+{
+    auto wl = makeWorkload("GUPS", 1.0 / 1024.0);
+    NativeTestbed tb(wl->footprintBytes(), {});
+    wl->setup(tb.proc());
+    auto &mech = tb.build(Design::Vanilla);
+    auto trace = wl->trace(1);
+    TranslationSimulator sim(mech, tb.tlbs(), tb.caches());
+    SimConfig cfg;
+    cfg.warmupAccesses = 1000;
+    cfg.measureAccesses = 20000;
+    const SimResult res = sim.run(*trace, cfg);
+    EXPECT_EQ(res.accesses, 20000u);
+    EXPECT_EQ(res.accesses, res.l1TlbHits + res.l2TlbHits + res.walks);
+    EXPECT_GE(res.walkCycles, static_cast<double>(res.walks));
+}
+
+TEST(Simulator, DeterministicAcrossRuns)
+{
+    auto run = [] {
+        auto wl = makeWorkload("BTree", 1.0 / 1024.0);
+        NativeTestbed tb(wl->footprintBytes(), {});
+        wl->setup(tb.proc());
+        auto &mech = tb.build(Design::Vanilla);
+        auto trace = wl->trace(5);
+        TranslationSimulator sim(mech, tb.tlbs(), tb.caches());
+        SimConfig cfg;
+        cfg.warmupAccesses = 1000;
+        cfg.measureAccesses = 10000;
+        return sim.run(*trace, cfg);
+    };
+    const SimResult a = run();
+    const SimResult b = run();
+    EXPECT_EQ(a.walks, b.walks);
+    EXPECT_DOUBLE_EQ(a.walkCycles, b.walkCycles);
+    EXPECT_EQ(a.seqRefs, b.seqRefs);
+}
+
+TEST(Workloads, FootprintsScaleWithTheirPaperSizes)
+{
+    // Paper: Redis 155 GB (heap ~148), GUPS 128 GB, Canneal 62 GB.
+    auto redis = makeWorkload("Redis", 1.0 / 16.0);
+    auto gups = makeWorkload("GUPS", 1.0 / 16.0);
+    auto canneal = makeWorkload("Canneal", 1.0 / 16.0);
+    EXPECT_GT(redis->footprintBytes(), gups->footprintBytes());
+    EXPECT_GT(gups->footprintBytes(), canneal->footprintBytes());
+    EXPECT_NEAR(static_cast<double>(gups->footprintBytes()),
+                128.0 / 16.0 * 1073741824.0, 64.0 * 1024 * 1024);
+}
+
+class WorkloadSweep : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WorkloadSweep, TracesStayInsideMappedVmas)
+{
+    auto wl = makeWorkload(GetParam(), 1.0 / 256.0);
+    NativeTestbed tb(wl->footprintBytes(), {});
+    wl->setup(tb.proc());
+    auto trace = wl->trace(11);
+    for (int i = 0; i < 30000; ++i) {
+        const Addr va = trace->next();
+        ASSERT_NE(tb.proc().vmas().find(va), nullptr)
+            << GetParam() << " emitted unmapped va 0x" << std::hex
+            << va;
+    }
+}
+
+TEST_P(WorkloadSweep, TracesAreDeterministicPerSeed)
+{
+    auto wl = makeWorkload(GetParam(), 1.0 / 256.0);
+    NativeTestbed tb(wl->footprintBytes(), {});
+    wl->setup(tb.proc());
+    auto t1 = wl->trace(3);
+    auto t2 = wl->trace(3);
+    auto t3 = wl->trace(4);
+    bool anyDiff = false;
+    for (int i = 0; i < 1000; ++i) {
+        const Addr a = t1->next();
+        EXPECT_EQ(a, t2->next());
+        anyDiff |= (a != t3->next());
+    }
+    EXPECT_TRUE(anyDiff) << "different seeds gave identical traces";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadSweep,
+    ::testing::Values("Redis", "Memcached", "GUPS", "BTree",
+                      "Canneal", "XSBench", "Graph500"));
+
+TEST(Workloads, Table1GeometryMatchesPaper)
+{
+    struct Expect
+    {
+        const char *name;
+        std::size_t total;
+    };
+    const Expect expected[] = {
+        {"Redis", 182},  {"Memcached", 1065}, {"GUPS", 103},
+        {"BTree", 109},  {"Canneal", 116},    {"XSBench", 111},
+        {"Graph500", 105},
+    };
+    for (const auto &[name, total] : expected) {
+        auto wl = makeWorkload(name, 1.0 / 256.0);
+        NativeTestbed tb(wl->footprintBytes(), {});
+        wl->setup(tb.proc());
+        EXPECT_EQ(tb.proc().vmas().count(), total) << name;
+    }
+}
+
+TEST(Workloads, SpecProfilesMatchPaperRanges)
+{
+    for (const auto &profile : makeSpecProfiles2006()) {
+        EXPECT_GE(profile.vmas.size(), 18u);
+        EXPECT_LE(profile.vmas.size(), 39u);
+    }
+    for (const auto &profile : makeSpecProfiles2017()) {
+        EXPECT_GE(profile.vmas.size(), 24u);
+        EXPECT_LE(profile.vmas.size(), 70u);
+    }
+    EXPECT_EQ(makeSpecProfiles2006().size(), 30u);
+    EXPECT_EQ(makeSpecProfiles2017().size(), 47u);
+}
+
+} // namespace
+} // namespace dmt

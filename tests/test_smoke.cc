@@ -1,0 +1,181 @@
+/**
+ * @file
+ * End-to-end smoke tests: every design in every environment
+ * translates correctly and with the expected reference counts
+ * (Table 6), on a small GUPS-like workload.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/testbed.hh"
+#include "sim/translation_sim.hh"
+#include "workloads/workloads.hh"
+
+namespace dmt
+{
+namespace
+{
+
+constexpr double tinyScale = 1.0 / 1024.0;  //!< 128 MB GUPS
+
+SimConfig
+smokeSim()
+{
+    SimConfig cfg;
+    cfg.warmupAccesses = 5'000;
+    cfg.measureAccesses = 30'000;
+    return cfg;
+}
+
+TEST(SmokeNative, VanillaTranslatesAndWalks)
+{
+    auto wl = makeWorkload("GUPS", tinyScale);
+    NativeTestbed tb(wl->footprintBytes(), {});
+    wl->setup(tb.proc());
+    auto &mech = tb.build(Design::Vanilla);
+    auto trace = wl->trace(42);
+    TranslationSimulator sim(mech, tb.tlbs(), tb.caches());
+    const SimResult res = sim.run(*trace, smokeSim());
+    EXPECT_EQ(res.accesses, 30'000u);
+    EXPECT_GT(res.walks, 1000u);
+    EXPECT_GT(res.meanWalkLatency(), 0.0);
+    // 4-level walk, PWC skips most upper levels after warmup.
+    EXPECT_GE(res.meanSeqRefs(), 1.0);
+    EXPECT_LE(res.meanSeqRefs(), 4.0);
+}
+
+TEST(SmokeNative, AllDesignsAgreeOnTranslation)
+{
+    auto wl = makeWorkload("GUPS", tinyScale);
+    for (Design d :
+         {Design::Vanilla, Design::Fpt, Design::Ecpt, Design::Asap,
+          Design::Dmt}) {
+        NativeTestbed tb(wl->footprintBytes(), {});
+        if (d == Design::Dmt)
+            tb.attachDmt();
+        wl->setup(tb.proc());
+        auto &mech = tb.build(d);
+        // Ground truth from the radix tree.
+        const auto &pt = tb.proc().pageTable();
+        auto trace = wl->trace(7);
+        for (int i = 0; i < 2000; ++i) {
+            const Addr va = trace->next();
+            const auto want = pt.translate(va);
+            ASSERT_TRUE(want.has_value());
+            EXPECT_EQ(mech.resolve(va), want->pa) << mech.name();
+            const WalkRecord rec = mech.walk(va);
+            EXPECT_EQ(rec.pa, want->pa) << mech.name();
+        }
+    }
+}
+
+TEST(SmokeNative, DmtTakesOneReferenceWithHighCoverage)
+{
+    auto wl = makeWorkload("GUPS", tinyScale);
+    NativeTestbed tb(wl->footprintBytes(), {});
+    tb.attachDmt();
+    wl->setup(tb.proc());
+    auto &mech = tb.build(Design::Dmt);
+    auto trace = wl->trace(42);
+    TranslationSimulator sim(mech, tb.tlbs(), tb.caches());
+    const SimResult res = sim.run(*trace, smokeSim());
+    EXPECT_GT(res.walks, 1000u);
+    EXPECT_NEAR(res.meanSeqRefs(), 1.0, 0.05);
+    EXPECT_GT(tb.dmtFetcher()->stats().coverage(), 0.99);
+}
+
+TEST(SmokeVirt, DesignsAgreeAndRefCountsMatchTable6)
+{
+    auto wl = makeWorkload("GUPS", tinyScale);
+    struct Expect
+    {
+        Design design;
+        double minRefs, maxRefs;
+    };
+    const Expect cases[] = {
+        {Design::Vanilla, 2.0, 24.0},  // PWCs skip levels
+        {Design::Shadow, 1.0, 4.0},
+        {Design::Fpt, 8.0, 8.0},
+        {Design::Ecpt, 3.0, 3.0},
+        {Design::Agile, 3.0, 12.0},
+        {Design::Asap, 2.0, 24.0},
+        {Design::Dmt, 3.0, 3.0},
+        {Design::PvDmt, 2.0, 2.0},
+    };
+    for (const auto &c : cases) {
+        VirtTestbed tb(wl->footprintBytes(), {});
+        if (c.design == Design::Dmt || c.design == Design::PvDmt)
+            tb.attachDmt(c.design == Design::PvDmt);
+        wl->setup(tb.proc());
+        auto &mech = tb.build(c.design);
+        auto trace = wl->trace(42);
+        TranslationSimulator sim(mech, tb.tlbs(), tb.caches());
+        const SimResult res = sim.run(*trace, smokeSim());
+        EXPECT_GT(res.walks, 1000u) << mech.name();
+        EXPECT_GE(res.meanSeqRefs(), c.minRefs) << mech.name();
+        EXPECT_LE(res.meanSeqRefs(), c.maxRefs) << mech.name();
+
+        // Cross-check translation against the nested ground truth.
+        const auto &gpt = tb.proc().pageTable();
+        auto t2 = wl->trace(9);
+        for (int i = 0; i < 500; ++i) {
+            const Addr gva = t2->next();
+            const auto gtr = gpt.translate(gva);
+            ASSERT_TRUE(gtr.has_value());
+            const Addr want = tb.vm().gpaToHostPa(gtr->pa);
+            EXPECT_EQ(mech.resolve(gva), want) << mech.name();
+        }
+    }
+}
+
+TEST(SmokeNested, PvDmtThreeRefsAndCorrect)
+{
+    auto wl = makeWorkload("GUPS", tinyScale);
+    for (Design d : {Design::Vanilla, Design::PvDmt}) {
+        NestedTestbed tb(wl->footprintBytes(), {});
+        if (d == Design::PvDmt)
+            tb.attachPvDmt();
+        wl->setup(tb.proc());
+        auto &mech = tb.build(d);
+        auto trace = wl->trace(42);
+        TranslationSimulator sim(mech, tb.tlbs(), tb.caches());
+        const SimResult res = sim.run(*trace, smokeSim());
+        EXPECT_GT(res.walks, 1000u) << mech.name();
+        if (d == Design::PvDmt) {
+            EXPECT_NEAR(res.meanSeqRefs(), 3.0, 0.1);
+            EXPECT_GT(tb.dmtFetcher()->stats().coverage(), 0.99);
+        }
+        // Ground truth through the three layers.
+        const auto &l2pt = tb.proc().pageTable();
+        auto t2 = wl->trace(9);
+        for (int i = 0; i < 300; ++i) {
+            const Addr va = t2->next();
+            const auto tr = l2pt.translate(va);
+            ASSERT_TRUE(tr.has_value());
+            EXPECT_EQ(mech.resolve(va),
+                      tb.stack().l2paToL0pa(tr->pa))
+                << mech.name();
+        }
+    }
+}
+
+TEST(SmokeThp, VirtPvDmtWithHugePages)
+{
+    // THP needs a set larger than the STLB's 2 MB reach (3 GB).
+    auto wl = makeWorkload("GUPS", 1.0 / 32.0);
+    TestbedConfig cfg;
+    cfg.thp = ThpMode::Always;
+    VirtTestbed tb(wl->footprintBytes(), cfg);
+    tb.attachDmt(true);
+    wl->setup(tb.proc());
+    EXPECT_GT(tb.proc().hugeMappings(), 0u);
+    auto &mech = tb.build(Design::PvDmt);
+    auto trace = wl->trace(42);
+    TranslationSimulator sim(mech, tb.tlbs(), tb.caches());
+    const SimResult res = sim.run(*trace, smokeSim());
+    EXPECT_GT(tb.dmtFetcher()->stats().coverage(), 0.99);
+    EXPECT_NEAR(res.meanSeqRefs(), 2.0, 0.1);
+}
+
+} // namespace
+} // namespace dmt

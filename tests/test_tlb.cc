@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Unit tests for the TLBs and page walk caches.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tlb/pwc.hh"
+#include "tlb/tlb.hh"
+
+namespace dmt
+{
+namespace
+{
+
+TEST(Tlb, HitAfterInsert)
+{
+    Tlb tlb({"t", 64, 4});
+    EXPECT_FALSE(tlb.lookup(0x1234000).has_value());
+    tlb.insert(0x1234000, PageSize::Size4K);
+    const auto hit = tlb.lookup(0x1234567);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, PageSize::Size4K);
+}
+
+TEST(Tlb, HugeEntryCoversWholePage)
+{
+    Tlb tlb({"t", 64, 4});
+    tlb.insert(0x40000000, PageSize::Size2M);
+    EXPECT_TRUE(tlb.lookup(0x401fffff).has_value());
+    EXPECT_FALSE(tlb.lookup(0x40200000).has_value());
+}
+
+TEST(Tlb, CapacityAndLruEviction)
+{
+    Tlb tlb({"t", 8, 2});  // 4 sets x 2 ways
+    // Fill one set (vpns with equal low bits).
+    tlb.insert(Addr{0} << 12, PageSize::Size4K);
+    tlb.insert(Addr{4} << 12, PageSize::Size4K);
+    tlb.lookup(Addr{0} << 12);  // make vpn 0 MRU
+    tlb.insert(Addr{8} << 12, PageSize::Size4K);  // evicts vpn 4
+    EXPECT_TRUE(tlb.lookup(Addr{0} << 12).has_value());
+    EXPECT_FALSE(tlb.lookup(Addr{4} << 12).has_value());
+    EXPECT_TRUE(tlb.lookup(Addr{8} << 12).has_value());
+}
+
+TEST(Tlb, InvalidateAndFlush)
+{
+    Tlb tlb({"t", 64, 4});
+    tlb.insert(0x1000, PageSize::Size4K);
+    tlb.insert(0x2000, PageSize::Size4K);
+    tlb.invalidate(0x1000);
+    EXPECT_FALSE(tlb.lookup(0x1000).has_value());
+    EXPECT_TRUE(tlb.lookup(0x2000).has_value());
+    tlb.flush();
+    EXPECT_FALSE(tlb.lookup(0x2000).has_value());
+}
+
+TEST(TlbHierarchy, StlbHitRefillsL1)
+{
+    TlbHierarchy tlbs;
+    tlbs.insertData(0x5000, PageSize::Size4K);
+    tlbs.flush();
+    tlbs.stlb().insert(0x5000, PageSize::Size4K);
+    EXPECT_EQ(tlbs.lookupData(0x5000), TlbHierarchy::Result::L2Hit);
+    // Refilled: next lookup hits L1.
+    EXPECT_EQ(tlbs.lookupData(0x5000), TlbHierarchy::Result::L1Hit);
+}
+
+TEST(Pwc, MissReturnsRoot)
+{
+    PageWalkCache pwc;
+    const auto hit = pwc.lookup(0x12345678, 4, 0xABC);
+    EXPECT_EQ(hit.startLevel, 4);
+    EXPECT_EQ(hit.tablePfn, 0xABCu);
+}
+
+TEST(Pwc, DeepestFillWins)
+{
+    PageWalkCache pwc;
+    const Addr va = 0x40123456;
+    pwc.fill(va, 3, 0x100);  // L3 table pointer
+    pwc.fill(va, 1, 0x300);  // L1 table pointer
+    const auto hit = pwc.lookup(va, 4, 0x1);
+    EXPECT_EQ(hit.startLevel, 1);
+    EXPECT_EQ(hit.tablePfn, 0x300u);
+}
+
+TEST(Pwc, TagsCoverTheTableSpan)
+{
+    PageWalkCache pwc;
+    pwc.fill(0x40000000, 1, 0x300);
+    // Same 2 MB span: hit.
+    EXPECT_EQ(pwc.lookup(0x401fff00, 4, 0x1).startLevel, 1);
+    // Next 2 MB span: miss.
+    EXPECT_EQ(pwc.lookup(0x40200000, 4, 0x1).startLevel, 4);
+}
+
+TEST(Pwc, CapacityIsRespected)
+{
+    PwcConfig cfg;
+    cfg.entriesForL1Table = 2;
+    PageWalkCache pwc(cfg);
+    pwc.fill(0x00000000, 1, 1);
+    pwc.fill(0x00200000, 1, 2);
+    pwc.fill(0x00400000, 1, 3);  // evicts LRU (first)
+    EXPECT_EQ(pwc.lookup(0x00000000, 4, 9).startLevel, 4);
+    EXPECT_EQ(pwc.lookup(0x00200000, 4, 9).startLevel, 1);
+    EXPECT_EQ(pwc.lookup(0x00400000, 4, 9).startLevel, 1);
+}
+
+TEST(Pwc, ProbesDoNotDisturbState)
+{
+    PageWalkCache pwc;
+    pwc.fill(0x40000000, 1, 0x300);
+    EXPECT_TRUE(pwc.probeLeafPointer(0x40000000));
+    EXPECT_FALSE(pwc.probeLeafPointer(0x80000000));
+    EXPECT_TRUE(pwc.probeLowPointer(0x40000000));
+}
+
+} // namespace
+} // namespace dmt
