@@ -5,7 +5,8 @@
  *
  *   dmtsim [--workload NAME] [--design NAME] [--env native|virt|
  *          nested] [--thp] [--scale N] [--accesses N] [--warmup N]
- *          [--seed N] [--record-trace FILE | --trace FILE]
+ *          [--seed N] [--audit[=N]]
+ *          [--record-trace FILE | --trace FILE]
  *
  * Examples:
  *   dmtsim --workload Redis --design pvdmt --env virt
@@ -19,6 +20,7 @@
 #include <cstring>
 #include <string>
 
+#include "check/invariant_auditor.hh"
 #include "common/log.hh"
 #include "sim/exec_model.hh"
 #include "sim/testbed.hh"
@@ -43,6 +45,8 @@ struct Options
     std::uint64_t seed = 42;
     std::string recordTrace;
     std::string traceFile;
+    bool audit = false;
+    std::uint64_t auditInterval = 0;  //!< 0 = final sweep only
 };
 
 [[noreturn]] void
@@ -55,7 +59,8 @@ usage(const char *argv0)
         "pvdmt]\n"
         "          [--env native|virt|nested] [--thp] [--scale N]\n"
         "          [--accesses N] [--warmup N] [--seed N]\n"
-        "          [--record-trace FILE] [--trace FILE]\n",
+        "          [--audit[=N]] [--record-trace FILE] "
+        "[--trace FILE]\n",
         argv0);
     std::exit(2);
 }
@@ -99,6 +104,12 @@ parse(int argc, char **argv)
             opt.seed = std::strtoull(value().c_str(), nullptr, 10);
         else if (arg == "--record-trace") opt.recordTrace = value();
         else if (arg == "--trace") opt.traceFile = value();
+        else if (arg == "--audit") opt.audit = true;
+        else if (arg.rfind("--audit=", 0) == 0) {
+            opt.audit = true;
+            opt.auditInterval = std::strtoull(
+                arg.c_str() + std::strlen("--audit="), nullptr, 10);
+        }
         else usage(argv[0]);
     }
     return opt;
@@ -178,6 +189,35 @@ main(int argc, char **argv)
                     (1ull << 30),
                 1.0 / opt.scale);
 
+    // Declared before the testbeds: subsystems unregister their audit
+    // hooks on destruction, so the auditor must outlive them.
+    InvariantAuditor auditor;
+    if (opt.audit && opt.auditInterval) {
+#ifndef DMT_ENABLE_AUDIT
+        warn("--audit=%llu requested but interval sweeps are compiled "
+             "out; configure with -DDMT_ENABLE_AUDIT=ON (a final "
+             "sweep still runs)",
+             static_cast<unsigned long long>(opt.auditInterval));
+#endif
+        auditor.setInterval(opt.auditInterval);
+    }
+    // Interval sweeps are meaningful only once the machine is in a
+    // steady state: enable after setup via this helper.
+    auto runAudited = [&](auto &tb, TranslationMechanism &mech,
+                          std::unique_ptr<TraceSource> trace) {
+        if (opt.audit)
+            tb.attachAuditor(auditor);
+        TranslationSimulator sim(mech, tb.tlbs(), tb.caches());
+        SimResult r = sim.run(*trace, simCfg);
+        if (opt.audit) {
+            auditor.sweep();
+            // Teardown transients (freed VMAs, stale TLB entries)
+            // are not violations; stop sweeping before destructors.
+            auditor.setInterval(0);
+        }
+        return r;
+    };
+
     SimResult res;
     double coverage = -1.0;
     if (opt.env == "native") {
@@ -186,9 +226,7 @@ main(int argc, char **argv)
             tb.attachDmt();
         wl->setup(tb.proc());
         auto &mech = tb.build(design);
-        auto trace = makeTrace();
-        TranslationSimulator sim(mech, tb.tlbs(), tb.caches());
-        res = sim.run(*trace, simCfg);
+        res = runAudited(tb, mech, makeTrace());
         if (tb.dmtFetcher())
             coverage = tb.dmtFetcher()->stats().coverage();
     } else if (opt.env == "virt") {
@@ -197,9 +235,7 @@ main(int argc, char **argv)
             tb.attachDmt(design == Design::PvDmt);
         wl->setup(tb.proc());
         auto &mech = tb.build(design);
-        auto trace = makeTrace();
-        TranslationSimulator sim(mech, tb.tlbs(), tb.caches());
-        res = sim.run(*trace, simCfg);
+        res = runAudited(tb, mech, makeTrace());
         if (tb.dmtFetcher())
             coverage = tb.dmtFetcher()->stats().coverage();
     } else if (opt.env == "nested") {
@@ -208,14 +244,25 @@ main(int argc, char **argv)
             tb.attachPvDmt();
         wl->setup(tb.proc());
         auto &mech = tb.build(design);
-        auto trace = makeTrace();
-        TranslationSimulator sim(mech, tb.tlbs(), tb.caches());
-        res = sim.run(*trace, simCfg);
+        res = runAudited(tb, mech, makeTrace());
         if (tb.dmtFetcher())
             coverage = tb.dmtFetcher()->stats().coverage();
     } else {
         usage(argv[0]);
     }
     report(res, coverage);
+    if (opt.audit) {
+        auditor.report();
+        std::printf("audit               %llu sweeps, %llu hook runs, "
+                    "%llu violations\n",
+                    static_cast<unsigned long long>(
+                        auditor.stats().sweeps),
+                    static_cast<unsigned long long>(
+                        auditor.stats().hooksRun),
+                    static_cast<unsigned long long>(
+                        auditor.stats().violations));
+        if (!auditor.clean())
+            return 3;
+    }
     return 0;
 }

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The DMT_AUDIT macro family — the hot-path face of the invariant
+ * auditor (see invariant_auditor.hh).
+ *
+ * Subsystems hold an `InvariantAuditor *auditor_` (null when not
+ * attached) and tick DMT_AUDIT_EVENT from their mutating operations.
+ * The macros compile to nothing unless the build enables
+ * DMT_ENABLE_AUDIT (CMake option of the same name, default ON), so a
+ * stripped perf build pays zero cost for the audit layer.
+ *
+ * DMT_AUDIT_CHECK is for use *inside* audit hooks and is always
+ * active: it only ever runs during a sweep.
+ */
+
+#ifndef DMT_CHECK_AUDIT_HH
+#define DMT_CHECK_AUDIT_HH
+
+#include "check/invariant_auditor.hh"
+
+#if DMT_ENABLE_AUDIT
+
+/** Note one mutation event on an (possibly null) auditor pointer. */
+#define DMT_AUDIT_EVENT(auditor)                                         \
+    do {                                                                 \
+        if (auditor)                                                     \
+            (auditor)->onEvent();                                        \
+    } while (0)
+
+/** Force an immediate sweep on an (possibly null) auditor pointer. */
+#define DMT_AUDIT_SWEEP(auditor)                                         \
+    do {                                                                 \
+        if (auditor)                                                     \
+            (auditor)->sweep();                                          \
+    } while (0)
+
+#else
+
+#define DMT_AUDIT_EVENT(auditor) ((void)0)
+#define DMT_AUDIT_SWEEP(auditor) ((void)0)
+
+#endif // DMT_ENABLE_AUDIT
+
+/** Assert an invariant inside an audit hook; records, never aborts. */
+#define DMT_AUDIT_CHECK(sink, cond, ...)                                 \
+    do {                                                                 \
+        if (!(cond))                                                     \
+            (sink).fail(__VA_ARGS__);                                    \
+    } while (0)
+
+#endif // DMT_CHECK_AUDIT_HH

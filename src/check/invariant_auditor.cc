@@ -1,0 +1,99 @@
+#include "check/invariant_auditor.hh"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "common/log.hh"
+
+namespace dmt
+{
+
+void
+AuditSink::fail(const char *fmt, ...)
+{
+    ++failures_;
+    ++total_;
+    if (out_.size() >= cap_)
+        return;
+    char buf[512];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    out_.push_back({checker_, buf});
+}
+
+int
+InvariantAuditor::registerHook(std::string name, Hook hook)
+{
+    DMT_ASSERT(hook != nullptr, "audit hook must be callable");
+    const int id = nextId_++;
+    hooks_.push_back({id, std::move(name), std::move(hook)});
+    return id;
+}
+
+void
+InvariantAuditor::unregisterHook(int id)
+{
+    for (auto it = hooks_.begin(); it != hooks_.end(); ++it) {
+        if (it->id == id) {
+            hooks_.erase(it);
+            return;
+        }
+    }
+}
+
+std::uint64_t
+InvariantAuditor::sweep()
+{
+    DMT_ASSERT(!inSweep_, "re-entrant audit sweep");
+    inSweep_ = true;
+    ++stats_.sweeps;
+    AuditSink sink(violations_, storedCap);
+    for (const auto &reg : hooks_) {
+        sink.checker_ = reg.name;
+        sink.failures_ = 0;
+        reg.hook(sink);
+        ++stats_.hooksRun;
+    }
+    stats_.violations += sink.total_;
+    inSweep_ = false;
+    return sink.total_;
+}
+
+std::vector<AuditViolation>
+InvariantAuditor::runHook(const Hook &hook)
+{
+    std::vector<AuditViolation> found;
+    AuditSink sink(found, storedCap);
+    sink.checker_ = "standalone";
+    hook(sink);
+    return found;
+}
+
+std::vector<std::string>
+InvariantAuditor::hookNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(hooks_.size());
+    for (const auto &reg : hooks_)
+        names.push_back(reg.name);
+    return names;
+}
+
+void
+InvariantAuditor::report() const
+{
+    for (const auto &v : violations_) {
+        warn("audit violation [%s]: %s", v.checker.c_str(),
+             v.detail.c_str());
+    }
+    inform("audit: %llu sweeps, %llu hooks run, %llu events, "
+           "%llu violations",
+           static_cast<unsigned long long>(stats_.sweeps),
+           static_cast<unsigned long long>(stats_.hooksRun),
+           static_cast<unsigned long long>(stats_.events),
+           static_cast<unsigned long long>(stats_.violations));
+}
+
+} // namespace dmt

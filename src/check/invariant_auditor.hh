@@ -1,0 +1,206 @@
+/**
+ * @file
+ * The invariant-audit layer: a registry of machine-checked coherence
+ * invariants spanning the whole simulator.
+ *
+ * DMT's correctness argument rests on cross-structure consistency —
+ * every TEA slot must mirror the last-level PTE the radix walk would
+ * have produced, across hypercall updates, buddy migrations, and
+ * nested gTEA/hTEA composition. Each subsystem registers one or more
+ * audit hooks with an InvariantAuditor; a *sweep* runs every hook and
+ * collects violations instead of panicking, so tests can assert that
+ * deliberately injected corruption is detected and that clean runs
+ * stay silent.
+ *
+ * Sweeps run on demand (sweep()) or every N mutation events
+ * (setInterval(N) + the DMT_AUDIT_EVENT hot-path ticks in audit.hh).
+ * Multi-step mutations (TEA migration, mapping reconciliation) hold a
+ * Pause so interval sweeps never observe a transient state.
+ *
+ * Lifetime contract: the auditor must outlive every subsystem
+ * attached to it (declare it first); subsystems unregister their
+ * hooks from their destructors.
+ */
+
+#ifndef DMT_CHECK_INVARIANT_AUDITOR_HH
+#define DMT_CHECK_INVARIANT_AUDITOR_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dmt
+{
+
+/** One detected invariant violation. */
+struct AuditViolation
+{
+    std::string checker;  //!< name of the registered hook
+    std::string detail;   //!< human-readable description
+};
+
+/**
+ * Collector handed to audit hooks during a sweep. fail() records a
+ * violation attributed to the running checker; it never aborts, so a
+ * single sweep reports every broken invariant at once.
+ */
+class AuditSink
+{
+  public:
+    /** Record a violation (printf-style detail message). */
+    void fail(const char *fmt, ...)
+        __attribute__((format(printf, 2, 3)));
+
+    /** Violations recorded by the current checker so far. */
+    Counter failures() const { return failures_; }
+
+  private:
+    friend class InvariantAuditor;
+
+    AuditSink(std::vector<AuditViolation> &out, std::size_t cap)
+        : out_(out), cap_(cap)
+    {
+    }
+
+    std::vector<AuditViolation> &out_;
+    std::size_t cap_;            //!< stop storing (not counting) here
+    std::string checker_;        //!< set by the auditor per hook
+    Counter failures_ = 0;
+    Counter total_ = 0;          //!< across all checkers this sweep
+};
+
+/** Counters describing audit activity. */
+struct AuditStats
+{
+    Counter events = 0;      //!< mutation events observed
+    Counter sweeps = 0;      //!< sweeps executed
+    Counter hooksRun = 0;    //!< individual hook invocations
+    Counter violations = 0;  //!< total violations ever found
+};
+
+/** Registry and driver for invariant-audit hooks. */
+class InvariantAuditor
+{
+  public:
+    /** An audit hook: examine one subsystem, report via the sink. */
+    using Hook = std::function<void(AuditSink &)>;
+
+    InvariantAuditor() = default;
+
+    InvariantAuditor(const InvariantAuditor &) = delete;
+    InvariantAuditor &operator=(const InvariantAuditor &) = delete;
+
+    /**
+     * Register a named hook.
+     * @return an id for unregisterHook().
+     */
+    int registerHook(std::string name, Hook hook);
+
+    /** Remove a hook; safe to call with an already-removed id. */
+    void unregisterHook(int id);
+
+    /**
+     * Run every registered hook now.
+     * @return the number of violations found by this sweep.
+     */
+    std::uint64_t sweep();
+
+    /**
+     * Note one mutation event; sweeps when the configured interval
+     * divides the event count (and no Pause is held).
+     */
+    void
+    onEvent()
+    {
+        ++stats_.events;
+        if (interval_ && pauseDepth_ == 0 && !inSweep_ &&
+            stats_.events % interval_ == 0) {
+            sweep();
+        }
+    }
+
+    /** Sweep every N events; 0 (default) = on-demand only. */
+    void setInterval(std::uint64_t every_n_events)
+    {
+        interval_ = every_n_events;
+    }
+
+    /**
+     * RAII guard suppressing interval sweeps across a multi-step
+     * mutation whose intermediate states legitimately violate
+     * invariants (e.g. TEA migration). Null auditor is fine.
+     */
+    class Pause
+    {
+      public:
+        explicit Pause(InvariantAuditor *auditor) : auditor_(auditor)
+        {
+            if (auditor_)
+                ++auditor_->pauseDepth_;
+        }
+
+        ~Pause()
+        {
+            if (auditor_)
+                --auditor_->pauseDepth_;
+        }
+
+        Pause(const Pause &) = delete;
+        Pause &operator=(const Pause &) = delete;
+
+      private:
+        InvariantAuditor *auditor_;
+    };
+
+    /** All violations found since the last clearViolations(). */
+    const std::vector<AuditViolation> &violations() const
+    {
+        return violations_;
+    }
+
+    /** @return true if no violation has ever been recorded. */
+    bool clean() const { return stats_.violations == 0; }
+
+    /** Drop recorded violations (stats keep counting). */
+    void clearViolations() { violations_.clear(); }
+
+    /** Names of the registered hooks (for reporting/tests). */
+    std::vector<std::string> hookNames() const;
+
+    /**
+     * Run one hook standalone, outside any registry, and return the
+     * violations it reports — the building block for legacy
+     * panic-on-corruption wrappers and for unit tests.
+     */
+    static std::vector<AuditViolation> runHook(const Hook &hook);
+
+    const AuditStats &stats() const { return stats_; }
+
+    /** warn() every stored violation and inform() a summary. */
+    void report() const;
+
+  private:
+    struct Registration
+    {
+        int id;
+        std::string name;
+        Hook hook;
+    };
+
+    std::vector<Registration> hooks_;
+    std::vector<AuditViolation> violations_;
+    AuditStats stats_;
+    std::uint64_t interval_ = 0;
+    int nextId_ = 1;
+    int pauseDepth_ = 0;
+    bool inSweep_ = false;
+    /** Cap on *stored* violations; everything is still counted. */
+    static constexpr std::size_t storedCap = 256;
+};
+
+} // namespace dmt
+
+#endif // DMT_CHECK_INVARIANT_AUDITOR_HH

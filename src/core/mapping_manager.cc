@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/audit.hh"
 #include "common/log.hh"
 
 namespace dmt
@@ -20,6 +21,87 @@ MappingManager::MappingManager(AddressSpace &space, TeaManager &teas,
             syncRegisters();
     });
     reconcile();
+}
+
+MappingManager::~MappingManager()
+{
+    if (auditor_)
+        auditor_->unregisterHook(auditHookId_);
+}
+
+void
+MappingManager::attachAuditor(InvariantAuditor &auditor,
+                              const std::string &name)
+{
+    DMT_ASSERT(auditor_ == nullptr, "mapping manager already audited");
+    auditor_ = &auditor;
+    auditHookId_ = auditor.registerHook(
+        name, [this](AuditSink &sink) { audit(sink); });
+}
+
+void
+MappingManager::audit(AuditSink &sink) const
+{
+    if (inReconcile_)
+        return;
+    int present = 0;
+    for (int i = 0; i < DmtRegisterFile::capacity; ++i) {
+        const DmtRegister &reg = regs_.at(i);
+        if (!reg.present)
+            continue;
+        ++present;
+        const Tea *live =
+            teas_.lookup(reg.tea.coverBase, reg.tea.leafSize);
+        if (!live || live->coverBase != reg.tea.coverBase) {
+            sink.fail("register %d maps 0x%llx but no TEA covers it",
+                      i,
+                      static_cast<unsigned long long>(
+                          reg.tea.coverBase));
+            continue;
+        }
+        DMT_AUDIT_CHECK(sink,
+                        live->coverBytes == reg.tea.coverBytes &&
+                            live->basePfn == reg.tea.basePfn,
+                        "register %d describes TEA 0x%llx as "
+                        "(%llu bytes, base 0x%llx) but the TEA is "
+                        "(%llu bytes, base 0x%llx)",
+                        i,
+                        static_cast<unsigned long long>(
+                            reg.tea.coverBase),
+                        static_cast<unsigned long long>(
+                            reg.tea.coverBytes),
+                        static_cast<unsigned long long>(
+                            reg.tea.basePfn),
+                        static_cast<unsigned long long>(
+                            live->coverBytes),
+                        static_cast<unsigned long long>(
+                            live->basePfn));
+        const TeaBacking *backing =
+            teas_.backingOf(reg.tea.coverBase, reg.tea.leafSize);
+        DMT_AUDIT_CHECK(sink,
+                        backing && backing->gteaId == reg.gteaId,
+                        "register %d carries gTEA id %d out of sync "
+                        "with the backing",
+                        i, reg.gteaId);
+        for (int j = i + 1; j < DmtRegisterFile::capacity; ++j) {
+            const DmtRegister &other = regs_.at(j);
+            if (!other.present ||
+                other.tea.leafSize != reg.tea.leafSize) {
+                continue;
+            }
+            DMT_AUDIT_CHECK(sink,
+                            other.tea.coverEnd() <=
+                                    reg.tea.coverBase ||
+                                reg.tea.coverEnd() <=
+                                    other.tea.coverBase,
+                            "registers %d and %d cover overlapping "
+                            "ranges of one size class",
+                            i, j);
+        }
+    }
+    DMT_AUDIT_CHECK(sink, present <= config_.maxRegisters,
+                    "%d registers loaded, budget is %d", present,
+                    config_.maxRegisters);
 }
 
 std::vector<VmaCluster>
@@ -215,6 +297,9 @@ MappingManager::reconcile()
     DMT_ASSERT(!inReconcile_, "reentrant reconcile");
     inReconcile_ = true;
     ++mappingStats_.reconciles;
+    // The TEA set and register file are both mid-rewrite until the
+    // final syncRegisters(); hold off interval sweeps entirely.
+    InvariantAuditor::Pause pause(auditor_);
 
     clusters_ = clusterVmas(space_.vmas().all(),
                             config_.bubbleThreshold);
@@ -229,6 +314,7 @@ MappingManager::reconcile()
         reconcileSize(PageSize::Size2M);
     syncRegisters();
     inReconcile_ = false;
+    DMT_AUDIT_EVENT(auditor_);
 }
 
 } // namespace dmt

@@ -30,6 +30,9 @@
 namespace dmt
 {
 
+class AuditSink;
+class InvariantAuditor;
+
 /** A cluster of adjacent VMAs covered by one mapping. */
 struct VmaCluster
 {
@@ -84,6 +87,8 @@ class MappingManager : public VmaObserver
     MappingManager(AddressSpace &space, TeaManager &teas,
                    DmtRegisterFile &regs, MappingConfig config = {});
 
+    ~MappingManager() override;
+
     /**
      * Recompute clusters, reconcile the TEA set, and reload the
      * registers. Invoked automatically on every VMA event; call
@@ -113,6 +118,23 @@ class MappingManager : public VmaObserver
     static std::vector<VmaCluster> clusterVmas(
         const std::vector<Vma> &vmas, double bubble_threshold);
 
+    /**
+     * Audit-layer entry point: every present register must describe a
+     * live TEA verbatim (coverage, base frame, gTEA id), no two
+     * present registers of one size class may cover the same VA, and
+     * the file must not exceed the configured register budget. Skips
+     * silently mid-reconcile, when the register file is legitimately
+     * behind the TEA set.
+     */
+    void audit(AuditSink &sink) const;
+
+    /**
+     * Register this manager's audit hook and start ticking reconcile
+     * events. The auditor must outlive this manager.
+     */
+    void attachAuditor(InvariantAuditor &auditor,
+                       const std::string &name = "mapping");
+
   private:
     /** Span-aligned desired coverage intervals for one size class. */
     std::vector<std::pair<Addr, Addr>> desiredCoverage(
@@ -135,6 +157,8 @@ class MappingManager : public VmaObserver
     std::vector<VmaCluster> clusters_;
     MappingStats mappingStats_;
     bool inReconcile_ = false;
+    InvariantAuditor *auditor_ = nullptr;
+    int auditHookId_ = 0;
 };
 
 } // namespace dmt

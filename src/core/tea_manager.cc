@@ -1,5 +1,6 @@
 #include "core/tea_manager.hh"
 
+#include "check/audit.hh"
 #include "common/log.hh"
 
 namespace dmt
@@ -43,14 +44,28 @@ TeaManager::TeaManager(RadixPageTable &pt, TeaFrameSource &source)
 
 TeaManager::~TeaManager()
 {
+    if (auditor_)
+        auditor_->unregisterHook(auditHookId_);
     // Move every live table out of TEA frames, then release the runs,
-    // so the page table never dangles into freed memory.
+    // so the page table never dangles into freed memory. Evictions
+    // tick page-table and allocator events mid-teardown.
+    InvariantAuditor::Pause pause(auditor_);
     for (auto &[key, rec] : teas_) {
         evictSpans(rec);
         source_.free(rec.backing);
     }
     teas_.clear();
     pt_.setFrameProvider(nullptr);
+}
+
+void
+TeaManager::attachAuditor(InvariantAuditor &auditor,
+                          const std::string &name)
+{
+    DMT_ASSERT(auditor_ == nullptr, "TEA manager already audited");
+    auditor_ = &auditor;
+    auditHookId_ = auditor.registerHook(
+        name, [this](AuditSink &sink) { audit(sink); });
 }
 
 TeaManager::Record *
@@ -116,6 +131,9 @@ const Tea *
 TeaManager::createTea(Addr cover_base, Addr cover_bytes,
                       PageSize leaf_size)
 {
+    // Adoption relocates live tables one span at a time; suppress
+    // interval sweeps until the TEA is fully populated.
+    InvariantAuditor::Pause pause(auditor_);
     const int level = RadixPageTable::leafLevel(leaf_size);
     const Addr span = RadixPageTable::spanBytes(level);
     DMT_ASSERT((cover_base % span) == 0 && (cover_bytes % span) == 0,
@@ -148,6 +166,7 @@ TeaManager::createTea(Addr cover_base, Addr cover_bytes,
     DMT_ASSERT(inserted, "duplicate TEA key");
     ++stats_.creates;
     adoptSpans(it->second);
+    DMT_AUDIT_EVENT(auditor_);
     return &it->second.tea;
 }
 
@@ -159,10 +178,15 @@ TeaManager::deleteTea(Addr cover_base, PageSize leaf_size)
     if (it == teas_.end())
         panic("deleteTea: no TEA at 0x%llx",
               static_cast<unsigned long long>(cover_base));
-    evictSpans(it->second);
-    source_.free(it->second.backing);
-    teas_.erase(it);
+    {
+        // Eviction leaves the record half-empty span by span.
+        InvariantAuditor::Pause pause(auditor_);
+        evictSpans(it->second);
+        source_.free(it->second.backing);
+        teas_.erase(it);
+    }
     ++stats_.deletes;
+    DMT_AUDIT_EVENT(auditor_);
 }
 
 const Tea *
@@ -174,6 +198,9 @@ TeaManager::resizeTea(Addr old_cover_base, PageSize leaf_size,
     DMT_ASSERT((new_cover_base % span) == 0 &&
                    (new_cover_bytes % span) == 0,
                "TEA bounds must be span aligned");
+    // Both the in-place and the migration path move tables while the
+    // coverage records are mid-rewrite.
+    InvariantAuditor::Pause pause(auditor_);
     Record *rec = findRecord(old_cover_base, leaf_size);
     DMT_ASSERT(rec != nullptr, "resizeTea: TEA not found");
 
@@ -191,6 +218,7 @@ TeaManager::resizeTea(Addr old_cover_base, PageSize leaf_size,
             rec->tea.coverBytes = new_cover_bytes;
             ++stats_.expandsInPlace;
             adoptSpans(*rec);
+            DMT_AUDIT_EVENT(auditor_);
             return &rec->tea;
         }
     }
@@ -234,6 +262,7 @@ TeaManager::resizeTea(Addr old_cover_base, PageSize leaf_size,
     source_.free(oldBacking);
     ++stats_.migrations;
     stats_.migratedTablePages += adopted;
+    DMT_AUDIT_EVENT(auditor_);
     return &it->second.tea;
 }
 
@@ -312,6 +341,111 @@ TeaManager::releaseTableFrame(int level, Addr span_base, Pfn pfn)
                 --rec.tablesInUse;
             return;
         }
+    }
+}
+
+void
+TeaManager::audit(AuditSink &sink) const
+{
+    const Record *prev = nullptr;
+    int prevLevel = -1;
+    for (const auto &[key, rec] : teas_) {
+        const int level = key.first;
+        const Tea &tea = rec.tea;
+        const Addr span = tea.spanBytes();
+        DMT_AUDIT_CHECK(sink, tea.tableLevel() == level,
+                        "TEA at 0x%llx keyed at level %d but sized "
+                        "for level %d",
+                        static_cast<unsigned long long>(tea.coverBase),
+                        level, tea.tableLevel());
+        DMT_AUDIT_CHECK(sink, key.second == tea.coverBase,
+                        "TEA keyed at 0x%llx but covers 0x%llx",
+                        static_cast<unsigned long long>(key.second),
+                        static_cast<unsigned long long>(
+                            tea.coverBase));
+        DMT_AUDIT_CHECK(sink,
+                        tea.coverBytes > 0 &&
+                            (tea.coverBase % span) == 0 &&
+                            (tea.coverBytes % span) == 0,
+                        "TEA at 0x%llx has misaligned or empty "
+                        "coverage",
+                        static_cast<unsigned long long>(
+                            tea.coverBase));
+        DMT_AUDIT_CHECK(sink, rec.backing.basePfn == tea.basePfn,
+                        "TEA at 0x%llx disagrees with its backing "
+                        "about the base frame",
+                        static_cast<unsigned long long>(
+                            tea.coverBase));
+        DMT_AUDIT_CHECK(sink, rec.backing.pages == tea.pages(),
+                        "TEA at 0x%llx covers %llu spans but reserves "
+                        "%llu frames",
+                        static_cast<unsigned long long>(tea.coverBase),
+                        static_cast<unsigned long long>(tea.pages()),
+                        static_cast<unsigned long long>(
+                            rec.backing.pages));
+        // The map is (level, coverBase)-sorted, so same-level overlap
+        // shows up between neighbours.
+        if (prev != nullptr && prevLevel == level) {
+            DMT_AUDIT_CHECK(sink,
+                            prev->tea.coverEnd() <= tea.coverBase,
+                            "TEAs at 0x%llx and 0x%llx overlap",
+                            static_cast<unsigned long long>(
+                                prev->tea.coverBase),
+                            static_cast<unsigned long long>(
+                                tea.coverBase));
+        }
+        prev = &rec;
+        prevLevel = level;
+
+        // The coherence core: walk every covered span and compare the
+        // tree against the TEA's direct-index arithmetic.
+        std::uint64_t inRun = 0;
+        for (Addr va = tea.coverBase; va < tea.coverEnd();
+             va += span) {
+            const auto cur = pt_.tableFrameAt(va, level);
+            if (!cur)
+                continue;
+            const bool inside =
+                *cur >= rec.backing.basePfn &&
+                *cur - rec.backing.basePfn < rec.backing.pages;
+            if (!inside) {
+                sink.fail("table for va 0x%llx escaped the TEA run "
+                          "(frame 0x%llx)",
+                          static_cast<unsigned long long>(va),
+                          static_cast<unsigned long long>(*cur));
+                continue;
+            }
+            ++inRun;
+            DMT_AUDIT_CHECK(sink, *cur == tea.frameFor(va),
+                            "table for va 0x%llx at frame 0x%llx, "
+                            "TEA index arithmetic expects 0x%llx",
+                            static_cast<unsigned long long>(va),
+                            static_cast<unsigned long long>(*cur),
+                            static_cast<unsigned long long>(
+                                tea.frameFor(va)));
+            const auto walked = pt_.leafPteAddr(va, tea.leafSize);
+            if (!walked) {
+                sink.fail("va 0x%llx has a level-%d table but no "
+                          "walkable leaf slot",
+                          static_cast<unsigned long long>(va), level);
+            } else {
+                DMT_AUDIT_CHECK(sink, *walked == tea.pteAddr(va),
+                                "leaf PTE for va 0x%llx at 0x%llx, "
+                                "TEA slot arithmetic expects 0x%llx",
+                                static_cast<unsigned long long>(va),
+                                static_cast<unsigned long long>(
+                                    *walked),
+                                static_cast<unsigned long long>(
+                                    tea.pteAddr(va)));
+            }
+        }
+        DMT_AUDIT_CHECK(sink, inRun == rec.tablesInUse,
+                        "TEA at 0x%llx hosts %llu live tables but "
+                        "accounts %llu in use",
+                        static_cast<unsigned long long>(tea.coverBase),
+                        static_cast<unsigned long long>(inRun),
+                        static_cast<unsigned long long>(
+                            rec.tablesInUse));
     }
 }
 

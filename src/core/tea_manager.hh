@@ -27,6 +27,9 @@
 namespace dmt
 {
 
+class AuditSink;
+class InvariantAuditor;
+
 /** Physical backing of one TEA. */
 struct TeaBacking
 {
@@ -153,6 +156,26 @@ class TeaManager : public TableFrameProvider
     /** Total table frames reserved by TEAs (4 KB units). */
     std::uint64_t reservedPages() const;
 
+    /**
+     * Audit-layer entry point for the paper's central coherence
+     * invariant: every TEA slot must mirror the last-level PTE the
+     * radix walk would produce. For each TEA this re-walks every
+     * covered span and reports tables that escaped the contiguous
+     * run, tables at the wrong offset within it, leaf-PTE addresses
+     * that disagree with the TEA index arithmetic
+     * (teaBase + ((va - coverBase) >> pageShift) * 8), usage counts
+     * out of sync with the tree, and overlapping or misshapen
+     * coverage records.
+     */
+    void audit(AuditSink &sink) const;
+
+    /**
+     * Register this manager's audit hook and start ticking TEA
+     * lifecycle events. The auditor must outlive this manager.
+     */
+    void attachAuditor(InvariantAuditor &auditor,
+                       const std::string &name = "tea");
+
     const TeaStats &stats() const { return stats_; }
 
     // TableFrameProvider:
@@ -187,6 +210,8 @@ class TeaManager : public TableFrameProvider
     std::map<Key, Record> teas_;
     TeaStats stats_;
     std::function<void()> usageCallback_;
+    InvariantAuditor *auditor_ = nullptr;
+    int auditHookId_ = 0;
 };
 
 } // namespace dmt

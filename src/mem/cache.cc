@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "check/audit.hh"
 #include "common/log.hh"
 
 namespace dmt
@@ -114,6 +115,53 @@ Cache::flush()
 {
     for (auto &way : ways_)
         way.valid = false;
+}
+
+void
+Cache::audit(AuditSink &sink) const
+{
+    for (std::size_t set = 0; set < numSets_; ++set) {
+        const std::size_t base = set * config_.associativity;
+        for (int w = 0; w < config_.associativity; ++w) {
+            const Way &way = ways_[base + w];
+            if (!way.valid)
+                continue;
+            DMT_AUDIT_CHECK(sink,
+                            (way.tag & (numSets_ - 1)) == set,
+                            "%s: tag 0x%llx sits in set %zu but "
+                            "indexes to set %llu",
+                            config_.name.c_str(),
+                            static_cast<unsigned long long>(way.tag),
+                            set,
+                            static_cast<unsigned long long>(
+                                way.tag & (numSets_ - 1)));
+            DMT_AUDIT_CHECK(sink, way.lastUse <= tick_,
+                            "%s: LRU stamp %llu ahead of the cache "
+                            "clock %llu",
+                            config_.name.c_str(),
+                            static_cast<unsigned long long>(
+                                way.lastUse),
+                            static_cast<unsigned long long>(tick_));
+            for (int v = w + 1; v < config_.associativity; ++v) {
+                const Way &other = ways_[base + v];
+                if (!other.valid)
+                    continue;
+                DMT_AUDIT_CHECK(sink, other.tag != way.tag,
+                                "%s: line 0x%llx resident twice in "
+                                "set %zu",
+                                config_.name.c_str(),
+                                static_cast<unsigned long long>(
+                                    way.tag),
+                                set);
+                DMT_AUDIT_CHECK(sink, other.lastUse != way.lastUse,
+                                "%s: two ways of set %zu share LRU "
+                                "stamp %llu",
+                                config_.name.c_str(), set,
+                                static_cast<unsigned long long>(
+                                    way.lastUse));
+            }
+        }
+    }
 }
 
 } // namespace dmt

@@ -19,6 +19,8 @@
 namespace dmt
 {
 
+class AuditSink;
+
 /** Configuration of one cache level. */
 struct CacheConfig
 {
@@ -52,6 +54,14 @@ class Cache
 
     /** Drop all contents. */
     void flush();
+
+    /**
+     * Audit-layer entry point: report every resident line whose tag
+     * does not index to the set it occupies, duplicate tags within a
+     * set (phantom extra occupancy), and malformed LRU ages — stamps
+     * ahead of the cache's clock or shared by two ways of one set.
+     */
+    void audit(AuditSink &sink) const;
 
     const CacheConfig &config() const { return config_; }
     Counter hits() const { return hits_; }

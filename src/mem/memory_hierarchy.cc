@@ -1,5 +1,8 @@
 #include "mem/memory_hierarchy.hh"
 
+#include "check/audit.hh"
+#include "common/log.hh"
+
 namespace dmt
 {
 
@@ -9,6 +12,25 @@ MemoryHierarchy::MemoryHierarchy(const HierarchyConfig &config)
       l2_(std::make_unique<Cache>(config.l2)),
       llc_(std::make_unique<Cache>(config.llc))
 {
+}
+
+MemoryHierarchy::~MemoryHierarchy()
+{
+    if (auditor_)
+        auditor_->unregisterHook(auditHookId_);
+}
+
+void
+MemoryHierarchy::attachAuditor(InvariantAuditor &auditor,
+                               const std::string &name)
+{
+    DMT_ASSERT(auditor_ == nullptr, "cache hierarchy already audited");
+    auditor_ = &auditor;
+    auditHookId_ = auditor.registerHook(name, [this](AuditSink &sink) {
+        l1d_->audit(sink);
+        l2_->audit(sink);
+        llc_->audit(sink);
+    });
 }
 
 Cycles
@@ -42,6 +64,7 @@ MemoryHierarchy::access(Addr pa, HitLevel &level)
     l2_->insert(pa);
     l1d_->insert(pa);
     level = HitLevel::Memory;
+    DMT_AUDIT_EVENT(auditor_);
     return config_.memoryRoundTrip;
 }
 
@@ -68,6 +91,7 @@ MemoryHierarchy::prefetch(Addr pa)
         llc_->insert(pa);
     if (!l2_->access(pa))
         l2_->insert(pa);
+    DMT_AUDIT_EVENT(auditor_);
 }
 
 void
@@ -84,6 +108,7 @@ MemoryHierarchy::flush()
     l1d_->flush();
     l2_->flush();
     llc_->flush();
+    DMT_AUDIT_EVENT(auditor_);
 }
 
 } // namespace dmt

@@ -25,6 +25,8 @@
 namespace dmt
 {
 
+class InvariantAuditor;
+
 /** Configuration for the full hierarchy. */
 struct HierarchyConfig
 {
@@ -80,6 +82,16 @@ class MemoryHierarchy
     /** Drop all cached content. */
     void flush();
 
+    /**
+     * Register one audit hook covering all three cache levels and
+     * start ticking fill events. The auditor must outlive this
+     * hierarchy.
+     */
+    void attachAuditor(InvariantAuditor &auditor,
+                       const std::string &name = "caches");
+
+    ~MemoryHierarchy();
+
     const Cache &l1d() const { return *l1d_; }
     const Cache &l2() const { return *l2_; }
     const Cache &llc() const { return *llc_; }
@@ -95,6 +107,8 @@ class MemoryHierarchy
     std::unique_ptr<Cache> llc_;
     Counter accesses_ = 0;
     Counter memAccesses_ = 0;
+    InvariantAuditor *auditor_ = nullptr;
+    int auditHookId_ = 0;
 };
 
 } // namespace dmt

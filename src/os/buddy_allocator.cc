@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "check/audit.hh"
 #include "common/log.hh"
 
 namespace dmt
@@ -31,6 +32,22 @@ BuddyAllocator::BuddyAllocator(Pfn num_frames, int max_order)
         base += std::uint64_t{1} << order;
         n -= std::uint64_t{1} << order;
     }
+}
+
+BuddyAllocator::~BuddyAllocator()
+{
+    if (auditor_)
+        auditor_->unregisterHook(auditHookId_);
+}
+
+void
+BuddyAllocator::attachAuditor(InvariantAuditor &auditor,
+                              const std::string &name)
+{
+    DMT_ASSERT(auditor_ == nullptr, "allocator already audited");
+    auditor_ = &auditor;
+    auditHookId_ = auditor.registerHook(
+        name, [this](AuditSink &sink) { audit(sink); });
 }
 
 void
@@ -113,6 +130,7 @@ BuddyAllocator::allocPages(int order, FrameKind kind)
     const std::uint64_t n = std::uint64_t{1} << order;
     setKind(base, n, kind);
     freeFrames_ -= n;
+    DMT_AUDIT_EVENT(auditor_);
     return base;
 }
 
@@ -130,6 +148,7 @@ BuddyAllocator::freePages(Pfn base, int order)
     setKind(base, n, FrameKind::Free);
     freeFrames_ += n;
     insertFreeBlock(base, order);
+    DMT_AUDIT_EVENT(auditor_);
 }
 
 std::pair<Pfn, int>
@@ -207,6 +226,7 @@ BuddyAllocator::allocContig(std::uint64_t n_pages, FrameKind kind)
         }
         if (runEnd - i >= n_pages) {
             claimRange(i, i + n_pages, kind);
+            DMT_AUDIT_EVENT(auditor_);
             return i;
         }
         i = runEnd + 1;
@@ -240,6 +260,7 @@ BuddyAllocator::freeContig(Pfn base, std::uint64_t n_pages)
                    "double free in contiguous range");
     }
     freeFrameRange(base, n_pages);
+    DMT_AUDIT_EVENT(auditor_);
 }
 
 bool
@@ -255,6 +276,7 @@ BuddyAllocator::expandInPlace(Pfn base, std::uint64_t cur_pages,
             return false;
     }
     claimRange(start, end, kind);
+    DMT_AUDIT_EVENT(auditor_);
     return true;
 }
 
@@ -266,6 +288,7 @@ BuddyAllocator::shrinkInPlace(Pfn base, std::uint64_t cur_pages,
     if (new_pages == cur_pages)
         return;
     freeFrameRange(base + new_pages, cur_pages - new_pages);
+    DMT_AUDIT_EVENT(auditor_);
 }
 
 std::uint64_t
@@ -295,6 +318,7 @@ BuddyAllocator::compact(std::uint64_t max_moves)
         freeFrameRange(src, 1);
         ++moves;
     }
+    DMT_AUDIT_EVENT(auditor_);
     return moves;
 }
 
@@ -322,37 +346,81 @@ BuddyAllocator::fragmentationIndex(int order) const
 }
 
 void
-BuddyAllocator::checkConsistency() const
+BuddyAllocator::audit(AuditSink &sink) const
 {
     std::vector<bool> covered(numFrames_, false);
     std::uint64_t totalFree = 0;
     for (int order = 0; order <= maxOrder_; ++order) {
         const std::uint64_t n = std::uint64_t{1} << order;
         for (Pfn base : freeLists_[order]) {
-            DMT_ASSERT((base & (n - 1)) == 0,
-                       "misaligned free block at order %d", order);
-            DMT_ASSERT(base + n <= numFrames_,
-                       "free block out of range");
+            DMT_AUDIT_CHECK(sink, (base & (n - 1)) == 0,
+                            "misaligned free block 0x%llx at order %d",
+                            static_cast<unsigned long long>(base),
+                            order);
+            if (base + n > numFrames_) {
+                sink.fail("free block 0x%llx (order %d) out of range",
+                          static_cast<unsigned long long>(base),
+                          order);
+                continue;
+            }
+            // An uncoalesced buddy pair means a free was mis-merged.
+            if (order < maxOrder_) {
+                const Pfn buddy = base ^ (Pfn{1} << order);
+                DMT_AUDIT_CHECK(
+                    sink,
+                    buddy + n > numFrames_ ||
+                        freeLists_[order].count(buddy) == 0 ||
+                        buddy < base,
+                    "uncoalesced buddies 0x%llx/0x%llx at order %d",
+                    static_cast<unsigned long long>(base),
+                    static_cast<unsigned long long>(buddy), order);
+            }
             for (std::uint64_t i = 0; i < n; ++i) {
-                DMT_ASSERT(!covered[base + i],
-                           "overlapping free blocks");
-                DMT_ASSERT(kinds_[base + i] == FrameKind::Free,
-                           "free block covers non-free frame");
+                DMT_AUDIT_CHECK(sink, !covered[base + i],
+                                "overlapping free blocks at 0x%llx",
+                                static_cast<unsigned long long>(
+                                    base + i));
+                DMT_AUDIT_CHECK(
+                    sink, kinds_[base + i] == FrameKind::Free,
+                    "free block covers allocated frame 0x%llx "
+                    "(double free?)",
+                    static_cast<unsigned long long>(base + i));
                 covered[base + i] = true;
             }
             totalFree += n;
         }
     }
-    DMT_ASSERT(totalFree == freeFrames_,
-               "free frame accounting mismatch: %llu vs %llu",
-               static_cast<unsigned long long>(totalFree),
-               static_cast<unsigned long long>(freeFrames_));
+    DMT_AUDIT_CHECK(sink, totalFree == freeFrames_,
+                    "free frame accounting mismatch: lists hold "
+                    "%llu, counter says %llu",
+                    static_cast<unsigned long long>(totalFree),
+                    static_cast<unsigned long long>(freeFrames_));
+    std::uint64_t allocated = 0;
     for (Pfn i = 0; i < numFrames_; ++i) {
         if (kinds_[i] == FrameKind::Free) {
-            DMT_ASSERT(covered[i],
-                       "free frame 0x%llx not in any free list",
-                       static_cast<unsigned long long>(i));
+            DMT_AUDIT_CHECK(sink, covered[i],
+                            "free frame 0x%llx not in any free list",
+                            static_cast<unsigned long long>(i));
+        } else {
+            ++allocated;
         }
+    }
+    DMT_AUDIT_CHECK(sink, allocated + freeFrames_ == numFrames_,
+                    "allocated (%llu) + free (%llu) frames != "
+                    "physical size (%llu)",
+                    static_cast<unsigned long long>(allocated),
+                    static_cast<unsigned long long>(freeFrames_),
+                    static_cast<unsigned long long>(numFrames_));
+}
+
+void
+BuddyAllocator::checkConsistency() const
+{
+    const auto found = InvariantAuditor::runHook(
+        [this](AuditSink &sink) { audit(sink); });
+    if (!found.empty()) {
+        panic("buddy allocator corrupt (%zu violations): %s",
+              found.size(), found.front().detail.c_str());
     }
 }
 

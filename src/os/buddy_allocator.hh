@@ -22,12 +22,16 @@
 #include <functional>
 #include <optional>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "common/types.hh"
 
 namespace dmt
 {
+
+class AuditSink;
+class InvariantAuditor;
 
 /** What a physical frame is being used for. */
 enum class FrameKind : std::uint8_t
@@ -50,6 +54,11 @@ class BuddyAllocator
      * @param max_order largest block order (default 18 = 1 GB blocks)
      */
     explicit BuddyAllocator(Pfn num_frames, int max_order = 18);
+
+    ~BuddyAllocator();
+
+    BuddyAllocator(const BuddyAllocator &) = delete;
+    BuddyAllocator &operator=(const BuddyAllocator &) = delete;
 
     /**
      * Allocate a naturally aligned block of 2^order frames.
@@ -123,6 +132,24 @@ class BuddyAllocator
     /** Verify internal invariants; panics on corruption (for tests). */
     void checkConsistency() const;
 
+    /**
+     * Audit-layer entry point: report (rather than panic on) every
+     * broken free-list or accounting invariant — misaligned,
+     * overlapping, or out-of-range free blocks; uncoalesced buddies;
+     * frames marked free but absent from every free list (the
+     * signature of a double free); and accounted frames not summing
+     * to the configured physical size.
+     */
+    void audit(AuditSink &sink) const;
+
+    /**
+     * Register this allocator's audit hook and start ticking mutation
+     * events. The auditor must outlive this allocator.
+     * @param name hook name (distinguishes multiple allocators)
+     */
+    void attachAuditor(InvariantAuditor &auditor,
+                       const std::string &name = "buddy");
+
   private:
     /** Remove a specific free block from the free structures. */
     void removeFreeBlock(Pfn base, int order);
@@ -154,6 +181,11 @@ class BuddyAllocator
     std::vector<std::set<Pfn>> freeLists_;  //!< per order, base-sorted
     std::vector<FrameKind> kinds_;          //!< per frame
     RelocationHook relocHook_;
+    InvariantAuditor *auditor_ = nullptr;
+    int auditHookId_ = 0;
+
+    /** Corruption-injection backdoor for tests/test_audit.cc. */
+    friend class AuditCorruptor;
 };
 
 } // namespace dmt

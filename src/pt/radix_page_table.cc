@@ -1,5 +1,6 @@
 #include "pt/radix_page_table.hh"
 
+#include "check/audit.hh"
 #include "common/log.hh"
 
 namespace dmt
@@ -24,7 +25,22 @@ RadixPageTable::RadixPageTable(Memory &mem,
 
 RadixPageTable::~RadixPageTable()
 {
+    if (auditor_)
+        auditor_->unregisterHook(auditHookId_);
+    // Frame frees below tick the allocator's audit events; the tree is
+    // in a transient half-destroyed state until we are done.
+    InvariantAuditor::Pause pause(auditor_);
     destroySubtree(rootPfn_, levels_, 0);
+}
+
+void
+RadixPageTable::attachAuditor(InvariantAuditor &auditor,
+                              const std::string &name)
+{
+    DMT_ASSERT(auditor_ == nullptr, "page table already audited");
+    auditor_ = &auditor;
+    auditHookId_ = auditor.registerHook(
+        name, [this](AuditSink &sink) { audit(sink); });
 }
 
 void
@@ -110,6 +126,11 @@ RadixPageTable::allocTable(int level, Addr span_base)
 void
 RadixPageTable::freeTable(int level, Addr span_base, Pfn pfn)
 {
+    // Decrement before releasing the frame: the release ticks the
+    // allocator's audit events, and a sweep at that point must see the
+    // tree (which no longer references pfn) agree with the counter.
+    DMT_ASSERT(tablePages_ > 0, "table page accounting underflow");
+    --tablePages_;
     mem_.zeroRange(pfn << pageShift, pageSize);
     auto it = providerOwned_.find(pfn);
     if (it != providerOwned_.end()) {
@@ -119,8 +140,6 @@ RadixPageTable::freeTable(int level, Addr span_base, Pfn pfn)
     } else {
         allocator_.freePages(pfn, 0);
     }
-    DMT_ASSERT(tablePages_ > 0, "table page accounting underflow");
-    --tablePages_;
 }
 
 std::optional<Pfn>
@@ -187,6 +206,7 @@ RadixPageTable::map(Addr va, Pfn pfn, PageSize size)
         flags |= pte_flags::pageSize;
     mem_.write64(slot, makePte(pfn, flags));
     ++mappedLeaves_;
+    DMT_AUDIT_EVENT(auditor_);
 }
 
 void
@@ -204,6 +224,7 @@ RadixPageTable::unmap(Addr va)
             DMT_ASSERT(mappedLeaves_ > 0, "leaf accounting underflow");
             --mappedLeaves_;
             pruneEmptyTables(va);
+            DMT_AUDIT_EVENT(auditor_);
             return;
         }
         cur = ptePfn(pte);
@@ -326,8 +347,9 @@ RadixPageTable::promote2M(Addr va)
     const Addr l2slot = entrySlot(*l2, va, 2);
     mem_.write64(l2slot,
                  makePte(basePfn, leafFlags | pte_flags::pageSize));
-    freeTable(1, spanBase(va, 1), *l1);
     mappedLeaves_ -= 511;
+    freeTable(1, spanBase(va, 1), *l1);
+    DMT_AUDIT_EVENT(auditor_);
     return true;
 }
 
@@ -351,6 +373,7 @@ RadixPageTable::demote2M(Addr va)
                      makePte(basePfn + i, leafFlags));
     mem_.write64(l2slot, makePte(l1, tableFlags));
     mappedLeaves_ += 511;
+    DMT_AUDIT_EVENT(auditor_);
     return true;
 }
 
@@ -370,6 +393,7 @@ RadixPageTable::updateLeaf(Addr va, Pfn new_pfn)
             mem_.write64(slot,
                          ((new_pfn << pageShift) & pteFrameMask) |
                              flagBits);
+            DMT_AUDIT_EVENT(auditor_);
             return;
         }
         cur = ptePfn(pte);
@@ -399,6 +423,7 @@ RadixPageTable::relocateLeafTableToScattered(Addr va, int level)
     mem_.write64(slot, makePte(*fresh, tableFlags));
     ++tablePages_;  // freeTable() will decrement for the old frame
     freeTable(level, spanBase(va, level), *cur);
+    DMT_AUDIT_EVENT(auditor_);
 }
 
 void
@@ -420,6 +445,100 @@ RadixPageTable::relocateLeafTable(Addr va, int level, Pfn new_pfn)
     // freeTable() decrements the counter; the new frame keeps it.
     ++tablePages_;
     freeTable(level, spanBase(va, level), oldPfn);
+    DMT_AUDIT_EVENT(auditor_);
+}
+
+void
+RadixPageTable::auditSubtree(Pfn table_pfn, int level, AuditSink &sink,
+                             std::unordered_map<Pfn, int> &seen,
+                             std::uint64_t &tables,
+                             std::uint64_t &leaves) const
+{
+    if (table_pfn >= allocator_.numFrames()) {
+        sink.fail("level-%d table frame 0x%llx out of physical range",
+                  level, static_cast<unsigned long long>(table_pfn));
+        return;
+    }
+    if (!seen.emplace(table_pfn, level).second) {
+        sink.fail("table frame 0x%llx referenced twice (again at "
+                  "level %d)",
+                  static_cast<unsigned long long>(table_pfn), level);
+        return;  // do not recurse into a cycle
+    }
+    ++tables;
+    DMT_AUDIT_CHECK(sink,
+                    allocator_.kindOf(table_pfn) == FrameKind::PageTable,
+                    "level-%d table frame 0x%llx not marked PageTable",
+                    level, static_cast<unsigned long long>(table_pfn));
+    bool empty = true;
+    for (int i = 0; i < 512; ++i) {
+        const Addr slot = (table_pfn << pageShift) + i * pteSize;
+        const std::uint64_t pte = mem_.read64(slot);
+        if (!pteIsPresent(pte))
+            continue;
+        empty = false;
+        if (level > 1 && pteIsHuge(pte)) {
+            if (level > 3) {
+                sink.fail("huge leaf at impossible level %d (pte "
+                          "0x%llx)",
+                          level, static_cast<unsigned long long>(pte));
+                continue;
+            }
+            const Pfn align = (Pfn{1} << (9 * (level - 1))) - 1;
+            DMT_AUDIT_CHECK(sink, (ptePfn(pte) & align) == 0,
+                            "level-%d huge leaf frame 0x%llx "
+                            "misaligned", level,
+                            static_cast<unsigned long long>(
+                                ptePfn(pte)));
+            ++leaves;
+            continue;
+        }
+        if (level == 1) {
+            ++leaves;
+            continue;
+        }
+        auditSubtree(ptePfn(pte), level - 1, sink, seen, tables,
+                     leaves);
+    }
+    // unmap() prunes empty tables bottom-up; a lingering empty table
+    // below the root is a leak. The root may legitimately be empty.
+    DMT_AUDIT_CHECK(sink, !empty || level == levels_,
+                    "empty level-%d table 0x%llx was not pruned",
+                    level, static_cast<unsigned long long>(table_pfn));
+}
+
+void
+RadixPageTable::audit(AuditSink &sink) const
+{
+    std::unordered_map<Pfn, int> seen;
+    std::uint64_t tables = 0;
+    std::uint64_t leaves = 0;
+    auditSubtree(rootPfn_, levels_, sink, seen, tables, leaves);
+    DMT_AUDIT_CHECK(sink, tables == tablePages_,
+                    "tree has %llu table pages but accounting says "
+                    "%llu",
+                    static_cast<unsigned long long>(tables),
+                    static_cast<unsigned long long>(tablePages_));
+    DMT_AUDIT_CHECK(sink, leaves == mappedLeaves_,
+                    "tree has %llu mapped leaves but accounting says "
+                    "%llu",
+                    static_cast<unsigned long long>(leaves),
+                    static_cast<unsigned long long>(mappedLeaves_));
+    for (const auto &[pfn, where] : providerOwned_) {
+        const auto it = seen.find(pfn);
+        if (it == seen.end()) {
+            sink.fail("provider-owned frame 0x%llx (level %d) is not "
+                      "a table in the tree",
+                      static_cast<unsigned long long>(pfn),
+                      where.first);
+        } else {
+            DMT_AUDIT_CHECK(sink, it->second == where.first,
+                            "provider-owned frame 0x%llx recorded at "
+                            "level %d but used at level %d",
+                            static_cast<unsigned long long>(pfn),
+                            where.first, it->second);
+        }
+    }
 }
 
 } // namespace dmt

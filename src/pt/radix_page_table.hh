@@ -31,6 +31,9 @@
 namespace dmt
 {
 
+class AuditSink;
+class InvariantAuditor;
+
 /**
  * Policy hook controlling physical placement of page-table pages.
  *
@@ -182,6 +185,25 @@ class RadixPageTable
     /** @return bytes of VA covered by one table page at `level`. */
     static Addr spanBytes(int level);
 
+    /**
+     * Audit-layer entry point: re-derive the tree's shape by a full
+     * recursive traversal and report every structural invariant that
+     * no longer holds — table frames not marked FrameKind::PageTable,
+     * frames referenced twice, huge leaves at impossible levels or
+     * with misaligned frames, unpruned empty tables, provider-owned
+     * frames that vanished from the tree, and traversal counts that
+     * disagree with the tablePages()/mappedLeaves() accounting.
+     */
+    void audit(AuditSink &sink) const;
+
+    /**
+     * Register this table's audit hook and start ticking mutation
+     * events. The auditor must outlive this table.
+     * @param name hook name (distinguishes guest/host/native tables)
+     */
+    void attachAuditor(InvariantAuditor &auditor,
+                       const std::string &name = "radix-pt");
+
   private:
     /** Allocate a zeroed table page for `level` covering span_base. */
     Pfn allocTable(int level, Addr span_base);
@@ -213,6 +235,12 @@ class RadixPageTable
     /** Recursively free a subtree (destructor helper). */
     void destroySubtree(Pfn table_pfn, int level, Addr span_base);
 
+    /** Recursive traversal behind audit(). */
+    void auditSubtree(Pfn table_pfn, int level, AuditSink &sink,
+                      std::unordered_map<Pfn, int> &seen,
+                      std::uint64_t &tables,
+                      std::uint64_t &leaves) const;
+
     /** Free empty tables on the path to va, bottom-up. */
     void pruneEmptyTables(Addr va);
 
@@ -225,6 +253,8 @@ class RadixPageTable
     std::uint64_t mappedLeaves_ = 0;
     /** Table frames owned by the provider: pfn -> (level, spanBase). */
     std::unordered_map<Pfn, std::pair<int, Addr>> providerOwned_;
+    InvariantAuditor *auditor_ = nullptr;
+    int auditHookId_ = 0;
 };
 
 } // namespace dmt

@@ -21,6 +21,8 @@
 namespace dmt
 {
 
+class InvariantAuditor;
+
 /** Native sequential radix page walker with a PWC. */
 class RadixWalker : public TranslationMechanism
 {
@@ -44,11 +46,23 @@ class RadixWalker : public TranslationMechanism
 
     PageWalkCache &pwc() { return pwc_; }
 
+    ~RadixWalker() override;
+
+    /**
+     * Register a hook auditing this walker's PWC against the page
+     * table it walks (every cached pointer must name the frame the
+     * table currently occupies). The auditor must outlive the walker.
+     */
+    void attachAuditor(InvariantAuditor &auditor,
+                       const std::string &name = "pwc");
+
   private:
     const RadixPageTable &pt_;
     MemoryHierarchy &caches_;
     PageWalkCache pwc_;
     std::string name_;
+    InvariantAuditor *auditor_ = nullptr;
+    int auditHookId_ = 0;
 };
 
 } // namespace dmt

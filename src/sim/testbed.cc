@@ -235,6 +235,31 @@ NativeTestbed::build(Design design)
     }
 }
 
+void
+NativeTestbed::attachAuditor(InvariantAuditor &auditor)
+{
+    alloc_.attachAuditor(auditor, "buddy");
+    caches_.attachAuditor(auditor, "caches");
+    tlbs_.attachAuditor(
+        auditor,
+        [this](Addr va) -> std::optional<PageSize> {
+            const auto tr = proc_->pageTable().translate(va);
+            if (!tr)
+                return std::nullopt;
+            return tr->size;
+        },
+        "tlb");
+    proc_->pageTable().attachAuditor(auditor, "radix-pt");
+    if (teaMgr_)
+        teaMgr_->attachAuditor(auditor, "tea");
+    if (mapMgr_)
+        mapMgr_->attachAuditor(auditor, "mapping");
+    if (radix_)
+        radix_->attachAuditor(auditor, "pwc");
+    if (dmtFallback_)
+        dmtFallback_->attachAuditor(auditor, "dmt-pwc");
+}
+
 // --------------------------------------------------------- VirtTestbed
 
 VirtTestbed::VirtTestbed(Addr footprint_bytes,
@@ -394,6 +419,58 @@ VirtTestbed::build(Design design)
     fatal("unhandled design");
 }
 
+void
+VirtTestbed::attachAuditor(InvariantAuditor &auditor)
+{
+    hostAlloc_.attachAuditor(auditor, "host-buddy");
+    vm_->guestAllocator().attachAuditor(auditor, "guest-buddy");
+    caches_.attachAuditor(auditor, "caches");
+    tlbs_.attachAuditor(
+        auditor,
+        [this](Addr va) -> std::optional<PageSize> {
+            // The guest-most page table is the authority on what the
+            // TLB may cache; when a shadow pager is active its table
+            // decides instead, because shadowing can splinter guest
+            // huge pages whose host backing is not contiguous.
+            const ShadowPager *sp =
+                shadow_ ? shadow_.get() : agileShadow_.get();
+            if (sp) {
+                const auto str = sp->table().translate(va);
+                if (!str)
+                    return std::nullopt;
+                return str->size;
+            }
+            const auto tr =
+                vm_->guestSpace().pageTable().translate(va);
+            if (!tr)
+                return std::nullopt;
+            return tr->size;
+        },
+        "tlb");
+    vm_->guestSpace().pageTable().attachAuditor(auditor, "guest-pt");
+    vm_->containerSpace().pageTable().attachAuditor(auditor,
+                                                    "host-pt");
+    if (guestTeaMgr_)
+        guestTeaMgr_->attachAuditor(auditor, "guest-tea");
+    if (hostTeaMgr_)
+        hostTeaMgr_->attachAuditor(auditor, "host-tea");
+    if (guestMapMgr_)
+        guestMapMgr_->attachAuditor(auditor, "guest-mapping");
+    if (hostMapMgr_)
+        hostMapMgr_->attachAuditor(auditor, "host-mapping");
+    if (nested_)
+        nested_->attachAuditor(auditor, "pwc-2d");
+    if (dmtFallback_)
+        dmtFallback_->attachAuditor(auditor, "dmt-pwc-2d");
+    if (shadowWalker_)
+        shadowWalker_->attachAuditor(auditor, "shadow-pwc");
+    if (shadow_)
+        shadow_->table().attachAuditor(auditor, "shadow-pt");
+    if (agileShadow_)
+        agileShadow_->table().attachAuditor(auditor,
+                                            "agile-shadow-pt");
+}
+
 // ------------------------------------------------------- NestedTestbed
 
 NestedTestbed::NestedTestbed(Addr footprint_bytes,
@@ -495,6 +572,46 @@ NestedTestbed::build(Design design)
         fatal("design %s is not modelled under nested virtualization",
               designName(design, true).c_str());
     }
+}
+
+void
+NestedTestbed::attachAuditor(InvariantAuditor &auditor)
+{
+    l0Alloc_.attachAuditor(auditor, "l0-buddy");
+    stack_->vm1().guestAllocator().attachAuditor(auditor, "l1-buddy");
+    stack_->l2Allocator().attachAuditor(auditor, "l2-buddy");
+    caches_.attachAuditor(auditor, "caches");
+    tlbs_.attachAuditor(
+        auditor,
+        [this](Addr va) -> std::optional<PageSize> {
+            const auto tr =
+                stack_->l2Space().pageTable().translate(va);
+            if (!tr)
+                return std::nullopt;
+            return tr->size;
+        },
+        "tlb");
+    stack_->attachAuditor(auditor, "nested");
+    stack_->l2Space().pageTable().attachAuditor(auditor, "l2-pt");
+    stack_->l1Container().pageTable().attachAuditor(auditor, "l1-pt");
+    stack_->vm1().containerSpace().pageTable().attachAuditor(
+        auditor, "l0-pt");
+    if (l2TeaMgr_)
+        l2TeaMgr_->attachAuditor(auditor, "l2-tea");
+    if (l1TeaMgr_)
+        l1TeaMgr_->attachAuditor(auditor, "l1-tea");
+    if (l0TeaMgr_)
+        l0TeaMgr_->attachAuditor(auditor, "l0-tea");
+    if (l2MapMgr_)
+        l2MapMgr_->attachAuditor(auditor, "l2-mapping");
+    if (l1MapMgr_)
+        l1MapMgr_->attachAuditor(auditor, "l1-mapping");
+    if (l0MapMgr_)
+        l0MapMgr_->attachAuditor(auditor, "l0-mapping");
+    if (nested_)
+        nested_->attachAuditor(auditor, "pwc-2d");
+    if (shadow_)
+        shadow_->table().attachAuditor(auditor, "shadow-pt");
 }
 
 } // namespace dmt

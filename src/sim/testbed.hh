@@ -38,6 +38,8 @@
 namespace dmt
 {
 
+class InvariantAuditor;
+
 /** Evaluated translation designs. */
 enum class Design
 {
@@ -105,6 +107,14 @@ class NativeTestbed
     /** Build the mechanism for a design (call after setup). */
     TranslationMechanism &build(Design design);
 
+    /**
+     * Register every owned structure (allocator, caches, TLBs, page
+     * table, TEA state, walker PWCs) with the invariant auditor.
+     * Call after build() so the design's walkers are covered too.
+     * The auditor must outlive this testbed.
+     */
+    void attachAuditor(InvariantAuditor &auditor);
+
     const DmtNativeFetcher *dmtFetcher() const { return dmt_.get(); }
     TeaManager *teaManager() { return teaMgr_.get(); }
     MappingManager *mappingManager() { return mapMgr_.get(); }
@@ -155,6 +165,9 @@ class VirtTestbed
     void attachDmt(bool pv);
 
     TranslationMechanism &build(Design design);
+
+    /** Register all owned structures; call after build(). */
+    void attachAuditor(InvariantAuditor &auditor);
 
     const DmtVirtFetcher *dmtFetcher() const { return dmt_.get(); }
     const ShadowPager *shadowPager() const { return shadow_.get(); }
@@ -218,6 +231,9 @@ class NestedTestbed
     void attachPvDmt();
 
     TranslationMechanism &build(Design design);
+
+    /** Register all owned structures; call after build(). */
+    void attachAuditor(InvariantAuditor &auditor);
 
     const DmtNestedFetcher *dmtFetcher() const { return dmt_.get(); }
     const ShadowPager *shadowPager() const { return shadow_.get(); }

@@ -1,5 +1,6 @@
 #include "tlb/pwc.hh"
 
+#include "check/audit.hh"
 #include "common/log.hh"
 
 namespace dmt
@@ -112,6 +113,55 @@ PageWalkCache::flush()
     for (auto *arr : {&l3_, &l2_, &l1_}) {
         for (auto &e : *arr)
             e.valid = false;
+    }
+}
+
+void
+PageWalkCache::audit(AuditSink &sink, const Oracle &oracle,
+                     const char *name) const
+{
+    for (int t = 1; t <= 3; ++t) {
+        const auto &arr = t == 1 ? l1_ : t == 2 ? l2_ : l3_;
+        for (std::size_t i = 0; i < arr.size(); ++i) {
+            const Entry &e = arr[i];
+            if (!e.valid)
+                continue;
+            DMT_AUDIT_CHECK(sink, e.lastUse <= tick_,
+                            "%s: L%d-table entry LRU stamp %llu "
+                            "ahead of the clock %llu",
+                            name, t,
+                            static_cast<unsigned long long>(e.lastUse),
+                            static_cast<unsigned long long>(tick_));
+            for (std::size_t j = i + 1; j < arr.size(); ++j) {
+                DMT_AUDIT_CHECK(sink,
+                                !arr[j].valid || arr[j].tag != e.tag,
+                                "%s: duplicate L%d-table tag 0x%llx",
+                                name, t,
+                                static_cast<unsigned long long>(
+                                    e.tag));
+            }
+            if (!oracle)
+                continue;
+            const Addr va = e.tag << (pageShift + 9 * t);
+            const auto truth = oracle(va, t);
+            if (!truth) {
+                sink.fail("%s: stale pointer to vanished L%d table "
+                          "for va 0x%llx",
+                          name, t,
+                          static_cast<unsigned long long>(va));
+            } else {
+                DMT_AUDIT_CHECK(sink, *truth == e.pfn,
+                                "%s: pointer for va 0x%llx names L%d "
+                                "table frame 0x%llx but the walk "
+                                "finds 0x%llx",
+                                name,
+                                static_cast<unsigned long long>(va), t,
+                                static_cast<unsigned long long>(
+                                    e.pfn),
+                                static_cast<unsigned long long>(
+                                    *truth));
+            }
+        }
     }
 }
 

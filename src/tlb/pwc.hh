@@ -14,12 +14,16 @@
 #define DMT_TLB_PWC_HH
 
 #include <cstdint>
+#include <functional>
+#include <optional>
 #include <vector>
 
 #include "common/types.hh"
 
 namespace dmt
 {
+
+class AuditSink;
 
 /** Configuration: entries for the caches of L3/L2/L1 table pointers. */
 struct PwcConfig
@@ -82,6 +86,26 @@ class PageWalkCache
 
     /** Drop all entries (context switch). */
     void flush();
+
+    /**
+     * Ground-truth source an audit validates entries against: the
+     * frame of the table at `table_level` on the walk path of `va`
+     * (nullopt if that table no longer exists). The native walker
+     * wires RadixPageTable::tableFrameAt; the nested walker resolves
+     * guest-table frames through the host dimension.
+     */
+    using Oracle =
+        std::function<std::optional<Pfn>(Addr va, int table_level)>;
+
+    /**
+     * Audit-layer entry point: report duplicate tags within a way
+     * array, LRU stamps ahead of the clock, and — when an oracle is
+     * supplied — entries pointing at tables the oracle says moved or
+     * vanished.
+     * @param name reported in violation messages (e.g. "pwc:nested")
+     */
+    void audit(AuditSink &sink, const Oracle &oracle,
+               const char *name = "pwc") const;
 
     Cycles latency() const { return config_.latency; }
     Counter hits() const { return hits_; }

@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "check/audit.hh"
 #include "common/log.hh"
 
 namespace dmt
@@ -104,6 +105,60 @@ Tlb::flush()
         e.valid = false;
 }
 
+void
+Tlb::audit(AuditSink &sink, const TranslateOracle &oracle) const
+{
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        const Entry &e = entries_[i];
+        if (!e.valid)
+            continue;
+        const std::size_t set = i / config_.associativity;
+        const int way = static_cast<int>(i % config_.associativity);
+        DMT_AUDIT_CHECK(sink, setIndex(e.vpn) == set,
+                        "%s: vpn 0x%llx sits in set %zu but indexes "
+                        "to set %zu",
+                        config_.name.c_str(),
+                        static_cast<unsigned long long>(e.vpn), set,
+                        setIndex(e.vpn));
+        DMT_AUDIT_CHECK(sink, e.lastUse <= tick_,
+                        "%s: LRU stamp %llu ahead of the TLB clock "
+                        "%llu",
+                        config_.name.c_str(),
+                        static_cast<unsigned long long>(e.lastUse),
+                        static_cast<unsigned long long>(tick_));
+        // Duplicate (vpn, size) pairs in one set would make lookup
+        // results depend on way order.
+        for (int w = way + 1; w < config_.associativity; ++w) {
+            const Entry &other =
+                entries_[set * config_.associativity + w];
+            DMT_AUDIT_CHECK(sink,
+                            !other.valid || other.vpn != e.vpn ||
+                                other.size != e.size,
+                            "%s: duplicate entry for vpn 0x%llx in "
+                            "set %zu",
+                            config_.name.c_str(),
+                            static_cast<unsigned long long>(e.vpn),
+                            set);
+        }
+        if (!oracle)
+            continue;
+        const Addr va = static_cast<Addr>(e.vpn)
+                        << pageShiftOf(e.size);
+        const auto truth = oracle(va);
+        if (!truth) {
+            sink.fail("%s: stale entry translates unmapped va 0x%llx",
+                      config_.name.c_str(),
+                      static_cast<unsigned long long>(va));
+        } else {
+            DMT_AUDIT_CHECK(sink, *truth == e.size,
+                            "%s: entry for va 0x%llx has stale page "
+                            "size",
+                            config_.name.c_str(),
+                            static_cast<unsigned long long>(va));
+        }
+    }
+}
+
 double
 Tlb::hitRatio() const
 {
@@ -126,6 +181,27 @@ TlbHierarchy::TlbHierarchy(const TlbConfig &l1d, const TlbConfig &l1i,
 {
 }
 
+TlbHierarchy::~TlbHierarchy()
+{
+    if (auditor_)
+        auditor_->unregisterHook(auditHookId_);
+}
+
+void
+TlbHierarchy::attachAuditor(InvariantAuditor &auditor,
+                            Tlb::TranslateOracle oracle,
+                            const std::string &name)
+{
+    DMT_ASSERT(auditor_ == nullptr, "TLB hierarchy already audited");
+    auditor_ = &auditor;
+    oracle_ = std::move(oracle);
+    auditHookId_ = auditor.registerHook(name, [this](AuditSink &sink) {
+        l1d_.audit(sink, oracle_);
+        l1i_.audit(sink, oracle_);
+        stlb_.audit(sink, oracle_);
+    });
+}
+
 TlbHierarchy::Result
 TlbHierarchy::lookupData(Addr va)
 {
@@ -133,6 +209,7 @@ TlbHierarchy::lookupData(Addr va)
         return Result::L1Hit;
     if (const auto size = stlb_.lookup(va)) {
         l1d_.insert(va, *size);
+        DMT_AUDIT_EVENT(auditor_);
         return Result::L2Hit;
     }
     return Result::Miss;
@@ -143,6 +220,7 @@ TlbHierarchy::insertData(Addr va, PageSize size)
 {
     l1d_.insert(va, size);
     stlb_.insert(va, size);
+    DMT_AUDIT_EVENT(auditor_);
 }
 
 void
@@ -151,6 +229,7 @@ TlbHierarchy::flush()
     l1d_.flush();
     l1i_.flush();
     stlb_.flush();
+    DMT_AUDIT_EVENT(auditor_);
 }
 
 } // namespace dmt

@@ -12,6 +12,7 @@
 #define DMT_TLB_TLB_HH
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -20,6 +21,9 @@
 
 namespace dmt
 {
+
+class AuditSink;
+class InvariantAuditor;
 
 /** Configuration of one TLB level. */
 struct TlbConfig
@@ -58,6 +62,24 @@ class Tlb
     double hitRatio() const;
 
     const TlbConfig &config() const { return config_; }
+
+    /**
+     * Ground-truth translation source an audit validates entries
+     * against — typically the owning process's page table. Returns
+     * the leaf page size covering the VA, or nullopt if unmapped.
+     */
+    using TranslateOracle =
+        std::function<std::optional<PageSize>(Addr va)>;
+
+    /**
+     * Audit-layer entry point: report every entry whose VPN indexes
+     * to a different set than it occupies, every duplicate
+     * (vpn, size) pair within a set, every LRU stamp ahead of the
+     * TLB's clock, and — when an oracle is supplied — every entry
+     * translating a page the oracle says is no longer mapped (or is
+     * mapped at a different size).
+     */
+    void audit(AuditSink &sink, const TranslateOracle &oracle) const;
 
   private:
     struct Entry
@@ -110,6 +132,17 @@ class TlbHierarchy
     /** Flush all levels. */
     void flush();
 
+    /**
+     * Register one audit hook covering all three TLBs. The oracle
+     * (may be null for structure-only audits) supplies ground truth
+     * for staleness checks; the auditor must outlive this hierarchy.
+     */
+    void attachAuditor(InvariantAuditor &auditor,
+                       Tlb::TranslateOracle oracle,
+                       const std::string &name = "tlb");
+
+    ~TlbHierarchy();
+
     Tlb &l1d() { return l1d_; }
     Tlb &l1i() { return l1i_; }
     Tlb &stlb() { return stlb_; }
@@ -120,6 +153,9 @@ class TlbHierarchy
     Tlb l1d_;
     Tlb l1i_;
     Tlb stlb_;
+    Tlb::TranslateOracle oracle_;
+    InvariantAuditor *auditor_ = nullptr;
+    int auditHookId_ = 0;
 };
 
 } // namespace dmt

@@ -1,5 +1,6 @@
 #include "virt/nested_stack.hh"
 
+#include "check/audit.hh"
 #include "common/log.hh"
 
 namespace dmt
@@ -40,6 +41,49 @@ NestedStack::NestedStack(Memory &l0_mem, BuddyAllocator &l0_alloc,
     l2Cfg.thp = config.l2Thp;
     l2Space_ = std::make_unique<AddressSpace>(*l2View_, *l2Alloc_,
                                               l2Cfg);
+}
+
+NestedStack::~NestedStack()
+{
+    if (auditor_)
+        auditor_->unregisterHook(auditHookId_);
+}
+
+void
+NestedStack::attachAuditor(InvariantAuditor &auditor,
+                           const std::string &name)
+{
+    DMT_ASSERT(auditor_ == nullptr, "nested stack already audited");
+    auditor_ = &auditor;
+    auditHookId_ = auditor.registerHook(
+        name, [this](AuditSink &sink) { audit(sink); });
+}
+
+void
+NestedStack::audit(AuditSink &sink) const
+{
+    const auto &l1pt = l1Container_->pageTable();
+    const auto &l0pt = vm1_->containerSpace().pageTable();
+    auto checkChain = [&](Addr l2pa) {
+        const auto tr1 = l1pt.translate(l2paToL1va(l2pa));
+        if (!tr1) {
+            sink.fail("L2 PA 0x%llx lost its L1 container backing",
+                      static_cast<unsigned long long>(l2pa));
+            return;
+        }
+        const auto tr0 = l0pt.translate(vm1_->gpaToHva(tr1->pa));
+        if (!tr0) {
+            sink.fail("L1 PA 0x%llx (backing L2 PA 0x%llx) lost its "
+                      "L0 backing",
+                      static_cast<unsigned long long>(tr1->pa),
+                      static_cast<unsigned long long>(l2pa));
+        }
+    };
+    for (Addr l2pa = 0; l2pa < config_.l2Bytes;
+         l2pa += hugePageSize) {
+        checkChain(l2pa);
+    }
+    checkChain(config_.l2Bytes - pageSize);
 }
 
 Addr

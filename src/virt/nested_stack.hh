@@ -27,6 +27,9 @@
 namespace dmt
 {
 
+class AuditSink;
+class InvariantAuditor;
+
 /** Configuration for a two-level (nested) virtualization stack. */
 struct NestedConfig
 {
@@ -44,6 +47,8 @@ class NestedStack
   public:
     NestedStack(Memory &l0_mem, BuddyAllocator &l0_alloc,
                 const NestedConfig &config);
+
+    ~NestedStack();
 
     /** The L1 VM (provides L1 physical memory on L0). */
     VirtualMachine &vm1() { return *vm1_; }
@@ -74,6 +79,21 @@ class NestedStack
 
     const NestedConfig &config() const { return config_; }
 
+    /**
+     * Audit-layer entry point: the whole L2PA -> L1PA -> L0PA chain
+     * must stay walkable. Samples one page per 2 MB of L2 physical
+     * memory (plus the last page) and reports any layer whose
+     * translation has gone missing.
+     */
+    void audit(AuditSink &sink) const;
+
+    /**
+     * Register this stack's audit hook. The auditor must outlive the
+     * stack.
+     */
+    void attachAuditor(InvariantAuditor &auditor,
+                       const std::string &name = "nested");
+
   private:
     NestedConfig config_;
     std::unique_ptr<VirtualMachine> vm1_;
@@ -81,6 +101,8 @@ class NestedStack
     std::unique_ptr<BuddyAllocator> l2Alloc_;
     std::unique_ptr<GuestMemoryView> l2View_;
     std::unique_ptr<AddressSpace> l2Space_;
+    InvariantAuditor *auditor_ = nullptr;
+    int auditHookId_ = 0;
 };
 
 } // namespace dmt

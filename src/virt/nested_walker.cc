@@ -1,5 +1,6 @@
 #include "virt/nested_walker.hh"
 
+#include "check/audit.hh"
 #include "common/log.hh"
 
 namespace dmt
@@ -16,6 +17,44 @@ NestedWalker::NestedWalker(const RadixPageTable &guest_pt,
       guestPwc_(pwc_config), nestedPwc_(pwc_config),
       name_(std::move(name))
 {
+}
+
+NestedWalker::~NestedWalker()
+{
+    if (auditor_)
+        auditor_->unregisterHook(auditHookId_);
+}
+
+void
+NestedWalker::attachAuditor(InvariantAuditor &auditor,
+                            const std::string &name)
+{
+    DMT_ASSERT(auditor_ == nullptr, "nested walker already audited");
+    auditor_ = &auditor;
+    // The guest-dimension PWC caches the *host* frame of each guest
+    // table page, so its oracle composes a guest-table lookup with a
+    // host translation of that table's guest-physical address.
+    auto guestOracle = [this](Addr gva,
+                              int t) -> std::optional<Pfn> {
+        const auto gframe = guestPt_.tableFrameAt(gva, t);
+        if (!gframe)
+            return std::nullopt;
+        const auto htr =
+            hostPt_.translate(gpaToHva_(*gframe << pageShift));
+        if (!htr)
+            return std::nullopt;
+        return static_cast<Pfn>(htr->pa >> pageShift);
+    };
+    auto hostOracle = [this](Addr hva,
+                             int t) -> std::optional<Pfn> {
+        return hostPt_.tableFrameAt(hva, t);
+    };
+    auditHookId_ = auditor.registerHook(
+        name,
+        [this, guestOracle, hostOracle](AuditSink &sink) {
+            guestPwc_.audit(sink, guestOracle, "guest-pwc");
+            nestedPwc_.audit(sink, hostOracle, "nested-pwc");
+        });
 }
 
 Addr

@@ -28,6 +28,8 @@
 namespace dmt
 {
 
+class InvariantAuditor;
+
 /** Hardware-assisted 2-D page walker (Intel EPT / AMD NPT style). */
 class NestedWalker : public TranslationMechanism
 {
@@ -63,6 +65,18 @@ class NestedWalker : public TranslationMechanism
     PageWalkCache &guestPwc() { return guestPwc_; }
     PageWalkCache &nestedPwc() { return nestedPwc_; }
 
+    ~NestedWalker() override;
+
+    /**
+     * Register a hook auditing both dimensions' PWCs: nested-PWC
+     * pointers against the host table, and guest-PWC pointers (host
+     * frames of guest tables) against the gTEA-style composition of
+     * a guest-table lookup and a host translation. The auditor must
+     * outlive the walker.
+     */
+    void attachAuditor(InvariantAuditor &auditor,
+                       const std::string &name = "pwc-2d");
+
     /**
      * Walk the host dimension for one guest-physical address,
      * charging every reference into `rec`.
@@ -80,6 +94,8 @@ class NestedWalker : public TranslationMechanism
     std::string name_;
     /** Figure 2 slot base of the host walk in flight (-1 = none). */
     int slotBase_ = -1;
+    InvariantAuditor *auditor_ = nullptr;
+    int auditHookId_ = 0;
 };
 
 } // namespace dmt

@@ -182,12 +182,12 @@ TEST_F(SpaceFixture, CompactionHookKeepsTranslationsCorrect)
     // Punch holes so compaction has something to do.
     std::vector<std::pair<Addr, Pfn>> expect;
     for (int i = 0; i < 64; ++i) {
-        const Addr va = 0x100000 + Addr{i} * pageSize;
+        const Addr va = 0x100000 + Addr(i) * pageSize;
         mem.write64(proc.pageTable().translate(va)->pa, 1000 + i);
     }
     alloc.compact();
     for (int i = 0; i < 64; ++i) {
-        const Addr va = 0x100000 + Addr{i} * pageSize;
+        const Addr va = 0x100000 + Addr(i) * pageSize;
         const auto tr = proc.pageTable().translate(va);
         ASSERT_TRUE(tr.has_value());
         // Content must still be reachable through the translation.

@@ -99,7 +99,7 @@ TEST_F(PtFixture, PromoteAndDemote2M)
     const auto frames = alloc.allocPages(9, FrameKind::Movable);
     ASSERT_TRUE(frames.has_value());
     for (int i = 0; i < 512; ++i)
-        pt.map(0x40000000 + Addr{i} * pageSize, *frames + i);
+        pt.map(0x40000000 + Addr(i) * pageSize, *frames + i);
     EXPECT_TRUE(pt.promote2M(0x40000000));
     auto tr = pt.translate(0x40000000 + 0x12345);
     ASSERT_TRUE(tr.has_value());
@@ -117,7 +117,7 @@ TEST_F(PtFixture, PromoteRefusesNonContiguousFrames)
 {
     RadixPageTable pt(mem, alloc);
     for (int i = 0; i < 512; ++i)
-        pt.map(0x40000000 + Addr{i} * pageSize,
+        pt.map(0x40000000 + Addr(i) * pageSize,
                static_cast<Pfn>(1000 + 2 * i));  // gaps
     EXPECT_FALSE(pt.promote2M(0x40000000));
 }
@@ -134,12 +134,12 @@ TEST_F(PtFixture, RelocateLeafTablePreservesTranslations)
 {
     RadixPageTable pt(mem, alloc);
     for (int i = 0; i < 16; ++i)
-        pt.map(0x40000000 + Addr{i} * pageSize, 0x500 + i);
+        pt.map(0x40000000 + Addr(i) * pageSize, 0x500 + i);
     const auto fresh = alloc.allocPages(0, FrameKind::PageTable);
     ASSERT_TRUE(fresh.has_value());
     pt.relocateLeafTable(0x40000000, 1, *fresh);
     for (int i = 0; i < 16; ++i) {
-        const auto tr = pt.translate(0x40000000 + Addr{i} * pageSize);
+        const auto tr = pt.translate(0x40000000 + Addr(i) * pageSize);
         ASSERT_TRUE(tr.has_value());
         EXPECT_EQ(tr->pfn, Pfn(0x500 + i));
     }
