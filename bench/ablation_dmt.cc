@@ -23,7 +23,7 @@ namespace
 {
 
 void
-registerSweep()
+registerSweep(JsonReport &json)
 {
     std::printf("\n(a) Register-count sweep (native, 4KB):\n");
     Table table({"Workload", "Registers", "Coverage", "Walk overhead "
@@ -51,10 +51,11 @@ registerSweep()
         }
     }
     table.print();
+    json.addTable("ablation_registers", table);
 }
 
 void
-bubbleSweep()
+bubbleSweep(JsonReport &json)
 {
     std::printf("\n(b) Merge bubble-threshold sweep (Memcached's "
                 "1065 VMAs):\n");
@@ -84,6 +85,7 @@ bubbleSweep()
              std::to_string(tb.teaManager()->reservedPages())});
     }
     table.print();
+    json.addTable("ablation_bubble_threshold", table);
     std::printf("Cluster counts include the ~290 isolated small VMAs; the "
                 "slab groups collapse from 778 mappings to 2 once "
                 "the threshold admits their sub-16 KB bubbles. TEA "
@@ -92,7 +94,7 @@ bubbleSweep()
 }
 
 void
-pwcSweep()
+pwcSweep(JsonReport &json)
 {
     std::printf("\n(c) Baseline PWC-size sensitivity (virtualized "
                 "GUPS, 4KB): does a bigger MMU cache close the "
@@ -136,12 +138,13 @@ pwcSweep()
                       Table::num(base / pv, 2) + "x"});
     }
     table.print();
+    json.addTable("ablation_pwc_sensitivity", table);
     std::printf("Even a 16x PWC cannot remove the leaf fetches that "
                 "DMT eliminates structurally.\n");
 }
 
 void
-eagerWaste()
+eagerWaste(JsonReport &json)
 {
     std::printf("\n(d) Eager TEA allocation waste (4KB):\n");
     Table table({"Workload", "TEA pages reserved", "Tables in use",
@@ -169,12 +172,13 @@ eagerWaste()
                           "%"});
     }
     table.print();
+    json.addTable("ablation_eager_tea_waste", table);
     std::printf("Paper §6.3: eager allocation costs <2.5%% extra "
                 "page-table memory for populated working sets.\n");
 }
 
 void
-fiveLevelSweep()
+fiveLevelSweep(JsonReport &json)
 {
     std::printf("\n(e) 4-level vs 5-level paging (native GUPS, "
                 "4KB): radix walks lengthen, DMT stays at one "
@@ -202,19 +206,21 @@ fiveLevelSweep()
         }
     }
     table.print();
+    json.addTable("ablation_five_level", table);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    JsonReport json(argc, argv, "ablation");
     printConfigBanner("Ablations: registers, bubble threshold, PWC "
                       "sensitivity, eager TEAs, 5-level paging");
-    registerSweep();
-    bubbleSweep();
-    pwcSweep();
-    eagerWaste();
-    fiveLevelSweep();
+    registerSweep(json);
+    bubbleSweep(json);
+    pwcSweep(json);
+    eagerWaste(json);
+    fiveLevelSweep(json);
     return 0;
 }

@@ -2,9 +2,12 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <sstream>
 
 #include "common/log.hh"
+#include "driver/json.hh"
 
 namespace dmt
 {
@@ -58,69 +61,28 @@ Outcome
 runNative(Workload &workload, Design design, bool thp,
           std::uint64_t seed)
 {
-    NativeTestbed tb(workload.footprintBytes(), testbedConfig(thp));
-    if (design == Design::Dmt || design == Design::PvDmt)
-        tb.attachDmt();
-    workload.setup(tb.proc());
-    auto &mech = tb.build(design);
-    auto trace = workload.trace(seed);
-    TranslationSimulator sim(mech, tb.tlbs(), tb.caches());
-    Outcome out;
-    out.sim = sim.run(*trace, simConfigFromEnv());
-    out.design = mech.name();
-    if (tb.dmtFetcher())
-        out.coverage = tb.dmtFetcher()->stats().coverage();
-    return out;
+    return driver::runCell(workload, driver::CampaignEnv::Native,
+                           design, testbedConfig(thp),
+                           simConfigFromEnv(), seed);
 }
 
 Outcome
 runVirt(Workload &workload, Design design, bool thp,
         std::uint64_t seed, bool record_steps)
 {
-    VirtTestbed tb(workload.footprintBytes(), testbedConfig(thp));
-    if (design == Design::Dmt || design == Design::PvDmt)
-        tb.attachDmt(design == Design::PvDmt);
-    workload.setup(tb.proc());
-    auto &mech = tb.build(design);
-    auto trace = workload.trace(seed);
-    TranslationSimulator sim(mech, tb.tlbs(), tb.caches());
-    Outcome out;
-    out.sim = sim.run(*trace, simConfigFromEnv(record_steps));
-    out.design = mech.name();
-    if (tb.dmtFetcher())
-        out.coverage = tb.dmtFetcher()->stats().coverage();
-    if (tb.shadowPager())
-        out.shadowExits = tb.shadowPager()->exits();
-    if (tb.hypercall()) {
-        out.hypercalls = tb.hypercall()->hypercalls();
-        out.hypercallCycles = tb.hypercall()->simulatedCost();
-    }
-    return out;
+    return driver::runCell(workload, driver::CampaignEnv::Virt,
+                           design, testbedConfig(thp),
+                           simConfigFromEnv(record_steps), seed,
+                           record_steps);
 }
 
 Outcome
 runNested(Workload &workload, Design design, bool thp,
           std::uint64_t seed)
 {
-    NestedTestbed tb(workload.footprintBytes(), testbedConfig(thp));
-    if (design == Design::PvDmt)
-        tb.attachPvDmt();
-    workload.setup(tb.proc());
-    auto &mech = tb.build(design);
-    auto trace = workload.trace(seed);
-    TranslationSimulator sim(mech, tb.tlbs(), tb.caches());
-    Outcome out;
-    out.sim = sim.run(*trace, simConfigFromEnv());
-    out.design = mech.name();
-    if (tb.dmtFetcher())
-        out.coverage = tb.dmtFetcher()->stats().coverage();
-    if (tb.shadowPager())
-        out.shadowExits = tb.shadowPager()->exits();
-    if (tb.l2Hypercall()) {
-        out.hypercalls = tb.l2Hypercall()->hypercalls();
-        out.hypercallCycles = tb.l2Hypercall()->simulatedCost();
-    }
-    return out;
+    return driver::runCell(workload, driver::CampaignEnv::Nested,
+                           design, testbedConfig(thp),
+                           simConfigFromEnv(), seed);
 }
 
 Table::Table(std::vector<std::string> header)
@@ -170,6 +132,78 @@ Table::print() const
     std::printf("\n");
     for (const auto &row : rows_)
         printRow(row);
+}
+
+JsonReport::JsonReport(int argc, char **argv,
+                       std::string experiment)
+    : experiment_(std::move(experiment))
+{
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--json") == 0) {
+            enabled_ = true;
+            path_ = "BENCH_" + experiment_ + ".json";
+        } else if (std::strncmp(arg, "--json=", 7) == 0) {
+            enabled_ = true;
+            path_ = arg + 7;
+        }
+    }
+}
+
+JsonReport::~JsonReport()
+{
+    write();
+}
+
+void
+JsonReport::addTable(const std::string &name, const Table &table)
+{
+    if (!enabled_)
+        return;
+    tables_[name] = {table.header(), table.rows()};
+}
+
+void
+JsonReport::write()
+{
+    if (!enabled_ || written_)
+        return;
+    written_ = true;
+    std::ofstream os(path_, std::ios::binary);
+    if (!os) {
+        warn("cannot open '%s' for writing; JSON report skipped",
+             path_.c_str());
+        return;
+    }
+    JsonWriter json(os);
+    json.beginObject();
+    json.field("schema", "dmt-bench-v1");
+    json.field("experiment", experiment_);
+    json.key("tables");
+    json.beginObject();
+    // std::map iteration: table names are emitted sorted.
+    for (const auto &[name, table] : tables_) {
+        json.key(name);
+        json.beginObject();
+        json.key("header");
+        json.beginArray();
+        for (const auto &cell : table.first)
+            json.value(cell);
+        json.endArray();
+        json.key("rows");
+        json.beginArray();
+        for (const auto &row : table.second) {
+            json.beginArray();
+            for (const auto &cell : row)
+                json.value(cell);
+            json.endArray();
+        }
+        json.endArray();
+        json.endObject();
+    }
+    json.endObject();
+    json.endObject();
+    std::printf("wrote %s\n", path_.c_str());
 }
 
 void

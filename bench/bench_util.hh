@@ -5,13 +5,19 @@
  * Every binary in bench/ regenerates one table or figure of the
  * paper: it builds fresh testbeds per (workload, design, page-size)
  * cell, runs the trace-driven simulation, applies the §5 execution
- * model, and prints the same rows/series the paper reports.
+ * model, and prints the same rows/series the paper reports. The cell
+ * execution itself lives in src/driver (shared with dmt-campaign);
+ * this layer adds environment sizing and table/JSON presentation.
  *
  * Environment knobs (all optional):
  *   DMT_BENCH_ACCESSES  measured accesses per cell (default 1000000)
  *   DMT_BENCH_WARMUP    warmup accesses (default 200000)
  *   DMT_BENCH_SCALE     working-set scale denominator (default 16,
  *                       i.e. 1/16 of the paper's footprints)
+ *
+ * Every binary also accepts `--json[=PATH]`: emit the printed tables
+ * as a machine-readable JSON document (default BENCH_<name>.json)
+ * through the same deterministic emitter dmt-campaign uses.
  */
 
 #ifndef DMT_BENCH_BENCH_UTIL_HH
@@ -19,8 +25,10 @@
 
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "driver/campaign.hh"
 #include "sim/exec_model.hh"
 #include "sim/testbed.hh"
 #include "sim/translation_sim.hh"
@@ -31,16 +39,8 @@ namespace dmt
 namespace bench
 {
 
-/** Outcome of one simulated cell. */
-struct Outcome
-{
-    SimResult sim;
-    double coverage = 1.0;     //!< DMT register coverage (if any)
-    Counter shadowExits = 0;   //!< shadow pager sync count (if any)
-    Counter hypercalls = 0;
-    Cycles hypercallCycles = 0;
-    std::string design;
-};
+/** Outcome of one simulated cell (see driver::CellOutcome). */
+using Outcome = driver::CellOutcome;
 
 /** Simulation sizing from the environment. */
 SimConfig simConfigFromEnv(bool record_steps = false);
@@ -77,12 +77,55 @@ class Table
     void addRow(std::vector<std::string> row);
     void print() const;
 
+    const std::vector<std::string> &header() const { return header_; }
+    const std::vector<std::vector<std::string>> &rows() const
+    {
+        return rows_;
+    }
+
     /** Format a double with the given precision. */
     static std::string num(double v, int precision = 2);
 
   private:
     std::vector<std::string> header_;
     std::vector<std::vector<std::string>> rows_;
+};
+
+/**
+ * Optional JSON mirror of a binary's printed tables.
+ *
+ * Construct it from argv at the top of main(); while disabled every
+ * call is a no-op, so binaries register their tables unconditionally.
+ * Tables are written (sorted by registration name) when write() or
+ * the destructor runs.
+ */
+class JsonReport
+{
+  public:
+    /** Scans argv for --json[=PATH]; strips nothing, ignores rest. */
+    JsonReport(int argc, char **argv, std::string experiment);
+    ~JsonReport();
+
+    JsonReport(const JsonReport &) = delete;
+    JsonReport &operator=(const JsonReport &) = delete;
+
+    bool enabled() const { return enabled_; }
+
+    /** Register a table under a stable name. */
+    void addTable(const std::string &name, const Table &table);
+
+    /** Write the document now (idempotent). */
+    void write();
+
+  private:
+    bool enabled_ = false;
+    bool written_ = false;
+    std::string experiment_;
+    std::string path_;
+    std::map<std::string, std::pair<std::vector<std::string>,
+                                    std::vector<std::vector<
+                                        std::string>>>>
+        tables_;
 };
 
 /** Print the standard configuration banner (Tables 2 & 3). */

@@ -22,8 +22,9 @@ using namespace dmt;
 using namespace dmt::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    JsonReport json(argc, argv, "fig04");
     printConfigBanner(
         "Figure 4: translation overhead of native / virtualized "
         "(nPT, sPT) / nested environments");
@@ -87,6 +88,7 @@ main()
                   Table::num(geoMean(nestAll)),
                   Table::num(geoMean(nestPw)), "-", "-", "-"});
     table.print();
+    json.addTable("fig04_overheads", table);
 
     std::printf("\nPaper reference (averages): virtualization 1.46x "
                 "native, nested 4.13x; walk overhead 21%% / 43%% / "

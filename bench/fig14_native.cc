@@ -24,7 +24,7 @@ const std::vector<Design> designs = {Design::Fpt, Design::Ecpt,
                                      Design::Asap, Design::Dmt};
 
 void
-runMode(bool thp)
+runMode(bool thp, JsonReport &json)
 {
     std::printf("\n--- Figure 14%s: native, %s ---\n",
                 thp ? "b" : "a", thp ? "THP" : "4KB pages");
@@ -69,19 +69,26 @@ runMode(bool thp)
 
     std::printf("Page walk speedup over Vanilla Linux:\n");
     walkTable.print();
+    json.addTable(std::string("fig14_walk_speedup_") +
+                      (thp ? "thp" : "4k"),
+                  walkTable);
     std::printf("\nApplication speedup over Vanilla Linux:\n");
     appTable.print();
+    json.addTable(std::string("fig14_app_speedup_") +
+                      (thp ? "thp" : "4k"),
+                  appTable);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    JsonReport json(argc, argv, "fig14");
     printConfigBanner("Figure 14: native-environment speedups of "
                       "advanced translation designs");
-    runMode(false);
-    runMode(true);
+    runMode(false, json);
+    runMode(true, json);
     std::printf("\nPaper reference: DMT walk speedup 1.28x (4KB) / "
                 "1.46x (THP); app speedup ~1.05x.\n");
     return 0;

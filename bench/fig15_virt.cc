@@ -22,7 +22,7 @@ const std::vector<Design> designs = {Design::Fpt,  Design::Ecpt,
                                      Design::Dmt,  Design::PvDmt};
 
 void
-runMode(bool thp)
+runMode(bool thp, JsonReport &json)
 {
     std::printf("\n--- Figure 15%s: virtualized, %s ---\n",
                 thp ? "b" : "a", thp ? "THP" : "4KB pages");
@@ -72,19 +72,26 @@ runMode(bool thp)
 
     std::printf("Page walk speedup over Vanilla KVM:\n");
     walkTable.print();
+    json.addTable(std::string("fig15_walk_speedup_") +
+                      (thp ? "thp" : "4k"),
+                  walkTable);
     std::printf("\nApplication speedup over Vanilla KVM:\n");
     appTable.print();
+    json.addTable(std::string("fig15_app_speedup_") +
+                      (thp ? "thp" : "4k"),
+                  appTable);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    JsonReport json(argc, argv, "fig15");
     printConfigBanner("Figure 15: virtualized-environment speedups of "
                       "advanced translation designs");
-    runMode(false);
-    runMode(true);
+    runMode(false, json);
+    runMode(true, json);
     std::printf("\nPaper reference: pvDMT walk speedup 1.58x (4KB) / "
                 "1.65x (THP); app speedup 1.20x / 1.14x. DMT without "
                 "pv: 1.41x / 1.55x walk, 1.15x / 1.12x app.\n");

@@ -31,8 +31,10 @@ slotLabel(int slot)
 }
 
 void
-printBreakdown(const char *title, const SimResult &res)
+printBreakdown(const char *title, const SimResult &res,
+               const std::string &json_name, JsonReport &json)
 {
+    Table table({"slot", "PTE", "avg cycles", "share %"});
     std::printf("\n%s (mean walk latency %.1f cycles, %llu walks)\n",
                 title, res.meanWalkLatency(),
                 static_cast<unsigned long long>(res.walks));
@@ -50,12 +52,16 @@ printBreakdown(const char *title, const SimResult &res)
             continue;
         std::printf("  %-5d %-5s %12.2f %7.1f%%\n", slot,
                     slotLabel(slot).c_str(), avg, share * 100.0);
+        table.addRow({std::to_string(slot), slotLabel(slot),
+                      Table::num(avg), Table::num(share * 100.0, 1)});
     }
+    json.addTable(json_name, table);
 }
 
 void
-runMode(bool thp)
+runMode(bool thp, JsonReport &json)
 {
+    const std::string suffix = thp ? "thp" : "4k";
     std::printf("\n=== Figure 16%s: Redis, %s ===\n", thp ? "b" : "a",
                 thp ? "2M huge pages (THP)" : "4KB base pages");
     const double scale = scaleFromEnv();
@@ -63,25 +69,27 @@ runMode(bool thp)
         auto wl = makeWorkload("Redis", scale);
         const Outcome base =
             runVirt(*wl, Design::Vanilla, thp, 42, true);
-        printBreakdown("Vanilla KVM nested walk", base.sim);
+        printBreakdown("Vanilla KVM nested walk", base.sim,
+                       "fig16_vanilla_" + suffix, json);
     }
     {
         auto wl = makeWorkload("Redis", scale);
         const Outcome pv = runVirt(*wl, Design::PvDmt, thp, 42, true);
         printBreakdown("pvDMT (fetches only the two leaf PTEs)",
-                       pv.sim);
+                       pv.sim, "fig16_pvdmt_" + suffix, json);
     }
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    JsonReport json(argc, argv, "fig16");
     printConfigBanner("Figure 16: per-PTE breakdown of nested page "
                       "walks (Redis)");
-    runMode(false);
-    runMode(true);
+    runMode(false, json);
+    runMode(true, json);
     std::printf("\nPaper reference: the two leaf slots (gL1 and the "
                 "final hL1; gL2/hL2 with THP) dominate walk latency; "
                 "pvDMT's two fetches retain ~66%% (4KB) / ~71%% (THP) "

@@ -22,7 +22,7 @@ namespace
 {
 
 void
-runMode(bool thp)
+runMode(bool thp, JsonReport &json)
 {
     std::printf("\n--- Figure 17%s: nested virtualization, %s ---\n",
                 thp ? "b" : "a", thp ? "THP" : "4KB pages");
@@ -58,16 +58,19 @@ runMode(bool thp)
     table.addRow({"Geo. Mean", Table::num(geoMean(walkAll)),
                   Table::num(geoMean(appAll)), "-", "-", "-"});
     table.print();
+    json.addTable(std::string("fig17_pvdmt_") + (thp ? "thp" : "4k"),
+                  table);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    JsonReport json(argc, argv, "fig17");
     printConfigBanner("Figure 17: pvDMT vs Vanilla Nested KVM");
-    runMode(false);
-    runMode(true);
+    runMode(false, json);
+    runMode(true, json);
     std::printf("\nPaper reference: 4KB — walk speedup ~1.02x (the "
                 "baseline's shadow table keeps walks short) but app "
                 "speedup 1.48x from eliminating VM exits; THP — walk "

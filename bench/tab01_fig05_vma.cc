@@ -91,8 +91,9 @@ printCdf(const char *title, std::vector<std::size_t> values)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    JsonReport json(argc, argv, "tab01_fig05");
     printConfigBanner("Table 1 / Figure 5: VMA characteristics; "
                       "Table 4 footprints");
 
@@ -114,6 +115,7 @@ main()
                                  2)});
     }
     table.print();
+    json.addTable("tab01_vma_characteristics", table);
 
     std::printf("\nPaper reference: Redis 182/6/6, Memcached "
                 "1065/778/2, GUPS 103/1/1, BTree 109/2/2, Canneal "

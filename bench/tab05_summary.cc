@@ -37,8 +37,9 @@ speedupOver(const std::map<std::string, double> &dmt,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    JsonReport json(argc, argv, "tab05");
     printConfigBanner("Table 5: DMT/pvDMT walk speedup over other "
                       "advanced designs (geometric means)");
 
@@ -86,6 +87,7 @@ main()
         }
     }
     table.print();
+    json.addTable("tab05_speedup_over_designs", table);
     std::printf("\nPaper reference: Native 4KB 1.04/1.03/N-A/1.06; "
                 "Native THP 1.18/1.17/N-A/1.23; Virt 4KB "
                 "1.22/1.16/1.21/1.31; Virt THP 1.49/1.25/1.34/"

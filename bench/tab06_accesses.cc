@@ -28,8 +28,9 @@ maxRefs(const SimResult &res)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    JsonReport json(argc, argv, "tab06");
     printConfigBanner("Table 6: sequential memory accesses per "
                       "translation design");
 
@@ -44,6 +45,7 @@ main()
     analytic.addRow({"ASAP", "4", "24", "N/A"});
     analytic.addRow({"Radix (vanilla)", "4", "24", "24 (via sPT)"});
     analytic.print();
+    json.addTable("tab06_analytic", analytic);
 
     std::printf("\nSimulator cross-check (mean dependent refs per "
                 "walk on GUPS; PWCs enabled, so radix chains show "
@@ -78,6 +80,7 @@ main()
         observed.addRow({designName(row.design, true), nat, virt});
     }
     observed.print();
+    json.addTable("tab06_observed_gups", observed);
     {
         auto w = makeWorkload("GUPS", scaleFromEnv());
         const auto base = runNested(*w, Design::Vanilla, false);

@@ -5,8 +5,12 @@
  *
  *   dmtsim [--workload NAME] [--design NAME] [--env native|virt|
  *          nested] [--thp] [--scale N] [--accesses N] [--warmup N]
- *          [--seed N] [--audit[=N]]
+ *          [--seed N] [--audit[=N]] [--json FILE]
  *          [--record-trace FILE | --trace FILE]
+ *
+ * --json writes the cell's results in the same schema as one entry
+ * of dmt-campaign's BENCH_campaign.json (see that tool for grid
+ * sweeps).
  *
  * Examples:
  *   dmtsim --workload Redis --design pvdmt --env virt
@@ -18,7 +22,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
+
+#include "driver/campaign.hh"
+#include "driver/json.hh"
 
 #include "check/invariant_auditor.hh"
 #include "common/log.hh"
@@ -45,6 +53,7 @@ struct Options
     std::uint64_t seed = 42;
     std::string recordTrace;
     std::string traceFile;
+    std::string jsonOut;
     bool audit = false;
     std::uint64_t auditInterval = 0;  //!< 0 = final sweep only
 };
@@ -59,24 +68,10 @@ usage(const char *argv0)
         "pvdmt]\n"
         "          [--env native|virt|nested] [--thp] [--scale N]\n"
         "          [--accesses N] [--warmup N] [--seed N]\n"
-        "          [--audit[=N]] [--record-trace FILE] "
+        "          [--audit[=N]] [--json FILE] [--record-trace FILE] "
         "[--trace FILE]\n",
         argv0);
     std::exit(2);
-}
-
-Design
-parseDesign(const std::string &name)
-{
-    if (name == "vanilla") return Design::Vanilla;
-    if (name == "shadow") return Design::Shadow;
-    if (name == "fpt") return Design::Fpt;
-    if (name == "ecpt") return Design::Ecpt;
-    if (name == "agile") return Design::Agile;
-    if (name == "asap") return Design::Asap;
-    if (name == "dmt") return Design::Dmt;
-    if (name == "pvdmt") return Design::PvDmt;
-    fatal("unknown design '%s'", name.c_str());
 }
 
 Options
@@ -102,6 +97,7 @@ parse(int argc, char **argv)
             opt.warmup = std::strtoull(value().c_str(), nullptr, 10);
         else if (arg == "--seed")
             opt.seed = std::strtoull(value().c_str(), nullptr, 10);
+        else if (arg == "--json") opt.jsonOut = value();
         else if (arg == "--record-trace") opt.recordTrace = value();
         else if (arg == "--trace") opt.traceFile = value();
         else if (arg == "--audit") opt.audit = true;
@@ -152,7 +148,7 @@ main(int argc, char **argv)
 {
     const Options opt = parse(argc, argv);
     auto wl = makeWorkload(opt.workload, opt.scale);
-    const Design design = parseDesign(opt.design);
+    const Design design = driver::parseDesign(opt.design);
 
     if (!opt.recordTrace.empty()) {
         // Record mode: lay out the workload, dump its trace, done.
@@ -251,6 +247,35 @@ main(int argc, char **argv)
         usage(argv[0]);
     }
     report(res, coverage);
+    if (!opt.jsonOut.empty()) {
+        std::ofstream os(opt.jsonOut, std::ios::binary);
+        if (!os)
+            fatal("cannot open '%s' for writing",
+                  opt.jsonOut.c_str());
+        JsonWriter json(os);
+        json.beginObject();
+        json.field("schema", "dmtsim-cell-v1");
+        json.field("env", opt.env);
+        json.field("workload", opt.workload);
+        json.field("design", opt.design);
+        json.field("thp", opt.thp);
+        json.field("seed", opt.seed);
+        json.field("accesses", res.accesses);
+        json.field("l1_tlb_hits", res.l1TlbHits);
+        json.field("stlb_hits", res.l2TlbHits);
+        json.field("walks", res.walks);
+        json.field("walk_cycles", res.walkCycles);
+        json.field("mean_walk_latency", res.meanWalkLatency());
+        json.field("overhead_per_access", res.overheadPerAccess());
+        json.field("seq_refs", res.seqRefs);
+        json.field("parallel_refs", res.parallelRefs);
+        json.field("mean_seq_refs", res.meanSeqRefs());
+        json.field("fallbacks", res.fallbacks);
+        if (coverage >= 0.0)
+            json.field("coverage", coverage);
+        json.endObject();
+        std::printf("wrote %s\n", opt.jsonOut.c_str());
+    }
     if (opt.audit) {
         auditor.report();
         std::printf("audit               %llu sweeps, %llu hook runs, "

@@ -1,5 +1,6 @@
 #include "common/log.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
@@ -8,7 +9,9 @@ namespace dmt
 
 namespace
 {
-LogLevel globalLevel = LogLevel::Warn;
+// Read from campaign worker threads; atomic so a runtime adjustment
+// is not a data race.
+std::atomic<LogLevel> globalLevel{LogLevel::Warn};
 
 void
 vlog(const char *tag, const char *fmt, va_list args)
@@ -22,13 +25,13 @@ vlog(const char *tag, const char *fmt, va_list args)
 void
 setLogLevel(LogLevel level)
 {
-    globalLevel = level;
+    globalLevel.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return globalLevel;
+    return globalLevel.load(std::memory_order_relaxed);
 }
 
 void
@@ -54,7 +57,7 @@ fatal(const char *fmt, ...)
 void
 warn(const char *fmt, ...)
 {
-    if (globalLevel < LogLevel::Warn)
+    if (logLevel() < LogLevel::Warn)
         return;
     va_list args;
     va_start(args, fmt);
@@ -65,7 +68,7 @@ warn(const char *fmt, ...)
 void
 inform(const char *fmt, ...)
 {
-    if (globalLevel < LogLevel::Info)
+    if (logLevel() < LogLevel::Info)
         return;
     va_list args;
     va_start(args, fmt);
@@ -76,7 +79,7 @@ inform(const char *fmt, ...)
 void
 debugLog(const char *fmt, ...)
 {
-    if (globalLevel < LogLevel::Debug)
+    if (logLevel() < LogLevel::Debug)
         return;
     va_list args;
     va_start(args, fmt);

@@ -86,6 +86,19 @@ StatGroup::get(const std::string &name) const
     return it->second;
 }
 
+std::map<std::string, ScalarStat>
+StatGroup::snapshot() const
+{
+    return scalars_;
+}
+
+void
+StatGroup::merge(const StatGroup &other)
+{
+    for (const auto &[name, stat] : other.scalars_)
+        scalars_[name].merge(stat);
+}
+
 void
 StatGroup::dump(std::ostream &os) const
 {

@@ -56,6 +56,24 @@ class ScalarStat
         return count_ ? sum_ / static_cast<double>(count_) : 0.0;
     }
 
+    /**
+     * Fold another stat into this one, as if every sample recorded
+     * there had been recorded here. Used to combine the per-cell
+     * stats of parallel shared-nothing simulations into one view.
+     */
+    void
+    merge(const ScalarStat &other)
+    {
+        if (other.count_ == 0)
+            return;
+        if (count_ == 0 || other.min_ < min_)
+            min_ = other.min_;
+        if (count_ == 0 || other.max_ > max_)
+            max_ = other.max_;
+        count_ += other.count_;
+        sum_ += other.sum_;
+    }
+
     /** Reset to the initial (empty) state. */
     void
     reset()
@@ -128,6 +146,19 @@ class StatGroup
     const ScalarStat &get(const std::string &name) const;
 
     const std::string &name() const { return name_; }
+
+    /**
+     * An immutable copy of every scalar, keyed by name. Workers hand
+     * snapshots of their private groups to an aggregator instead of
+     * sharing one mutable registry across threads.
+     */
+    std::map<std::string, ScalarStat> snapshot() const;
+
+    /**
+     * Merge every scalar of `other` into this group (creating any
+     * scalars this group lacks). Scalar merge semantics apply.
+     */
+    void merge(const StatGroup &other);
 
     /** Write a human-readable dump of all stats. */
     void dump(std::ostream &os) const;

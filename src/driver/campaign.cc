@@ -1,0 +1,456 @@
+#include "driver/campaign.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "common/log.hh"
+#include "common/stats.hh"
+#include "driver/json.hh"
+
+namespace dmt
+{
+namespace driver
+{
+
+const char *const campaignSchema = "dmt-campaign-v1";
+
+std::string
+envId(CampaignEnv env)
+{
+    switch (env) {
+      case CampaignEnv::Native: return "native";
+      case CampaignEnv::Virt: return "virt";
+      case CampaignEnv::Nested: return "nested";
+    }
+    return "?";
+}
+
+std::string
+designId(Design design)
+{
+    switch (design) {
+      case Design::Vanilla: return "vanilla";
+      case Design::Shadow: return "shadow";
+      case Design::Fpt: return "fpt";
+      case Design::Ecpt: return "ecpt";
+      case Design::Agile: return "agile";
+      case Design::Asap: return "asap";
+      case Design::Dmt: return "dmt";
+      case Design::PvDmt: return "pvdmt";
+    }
+    return "?";
+}
+
+Design
+parseDesign(const std::string &name)
+{
+    for (Design d : {Design::Vanilla, Design::Shadow, Design::Fpt,
+                     Design::Ecpt, Design::Agile, Design::Asap,
+                     Design::Dmt, Design::PvDmt}) {
+        if (designId(d) == name)
+            return d;
+    }
+    fatal("unknown design '%s'", name.c_str());
+}
+
+CampaignEnv
+parseEnv(const std::string &name)
+{
+    for (CampaignEnv e : {CampaignEnv::Native, CampaignEnv::Virt,
+                          CampaignEnv::Nested}) {
+        if (envId(e) == name)
+            return e;
+    }
+    fatal("unknown environment '%s'", name.c_str());
+}
+
+std::vector<Design>
+validDesigns(CampaignEnv env)
+{
+    switch (env) {
+      case CampaignEnv::Native:
+        return {Design::Vanilla, Design::Fpt, Design::Ecpt,
+                Design::Asap, Design::Dmt};
+      case CampaignEnv::Virt:
+        return {Design::Vanilla, Design::Shadow, Design::Fpt,
+                Design::Ecpt, Design::Agile, Design::Asap,
+                Design::Dmt, Design::PvDmt};
+      case CampaignEnv::Nested:
+        return {Design::Vanilla, Design::PvDmt};
+    }
+    return {};
+}
+
+namespace
+{
+
+std::uint64_t
+fnv1a64(const std::string &s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+bool
+designValidIn(CampaignEnv env, Design design)
+{
+    const auto valid = validDesigns(env);
+    return std::find(valid.begin(), valid.end(), design) !=
+           valid.end();
+}
+
+} // namespace
+
+std::uint64_t
+cellSeed(std::uint64_t base_seed, const CellSpec &spec)
+{
+    const std::string identity = spec.workload + "|" +
+                                 envId(spec.env) + "|" +
+                                 designId(spec.design) + "|" +
+                                 (spec.thp ? "thp" : "4k");
+    return splitmix64(base_seed ^ fnv1a64(identity));
+}
+
+CellOutcome
+runCell(Workload &workload, CampaignEnv env, Design design,
+        const TestbedConfig &tb_config, const SimConfig &sim_config,
+        std::uint64_t seed, bool record_steps)
+{
+    const auto start = std::chrono::steady_clock::now();
+    SimConfig cfg = sim_config;
+    cfg.recordSteps = record_steps;
+    CellOutcome out;
+    switch (env) {
+      case CampaignEnv::Native: {
+        NativeTestbed tb(workload.footprintBytes(), tb_config);
+        if (design == Design::Dmt || design == Design::PvDmt)
+            tb.attachDmt();
+        workload.setup(tb.proc());
+        auto &mech = tb.build(design);
+        auto trace = workload.trace(seed);
+        TranslationSimulator sim(mech, tb.tlbs(), tb.caches());
+        out.sim = sim.run(*trace, cfg);
+        out.design = mech.name();
+        if (tb.dmtFetcher())
+            out.coverage = tb.dmtFetcher()->stats().coverage();
+        break;
+      }
+      case CampaignEnv::Virt: {
+        VirtTestbed tb(workload.footprintBytes(), tb_config);
+        if (design == Design::Dmt || design == Design::PvDmt)
+            tb.attachDmt(design == Design::PvDmt);
+        workload.setup(tb.proc());
+        auto &mech = tb.build(design);
+        auto trace = workload.trace(seed);
+        TranslationSimulator sim(mech, tb.tlbs(), tb.caches());
+        out.sim = sim.run(*trace, cfg);
+        out.design = mech.name();
+        if (tb.dmtFetcher())
+            out.coverage = tb.dmtFetcher()->stats().coverage();
+        if (tb.shadowPager())
+            out.shadowExits = tb.shadowPager()->exits();
+        if (tb.hypercall()) {
+            out.hypercalls = tb.hypercall()->hypercalls();
+            out.hypercallCycles = tb.hypercall()->simulatedCost();
+        }
+        break;
+      }
+      case CampaignEnv::Nested: {
+        NestedTestbed tb(workload.footprintBytes(), tb_config);
+        if (design == Design::PvDmt)
+            tb.attachPvDmt();
+        workload.setup(tb.proc());
+        auto &mech = tb.build(design);
+        auto trace = workload.trace(seed);
+        TranslationSimulator sim(mech, tb.tlbs(), tb.caches());
+        out.sim = sim.run(*trace, cfg);
+        out.design = mech.name();
+        if (tb.dmtFetcher())
+            out.coverage = tb.dmtFetcher()->stats().coverage();
+        if (tb.shadowPager())
+            out.shadowExits = tb.shadowPager()->exits();
+        if (tb.l2Hypercall()) {
+            out.hypercalls = tb.l2Hypercall()->hypercalls();
+            out.hypercallCycles = tb.l2Hypercall()->simulatedCost();
+        }
+        break;
+      }
+    }
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    out.wallSeconds = elapsed.count();
+    out.accessesPerSec =
+        out.wallSeconds > 0.0
+            ? static_cast<double>(out.sim.accesses) / out.wallSeconds
+            : 0.0;
+    return out;
+}
+
+std::vector<CellSpec>
+enumerateCells(const CampaignConfig &config)
+{
+    std::vector<std::string> workloads = config.workloads;
+    if (workloads.empty())
+        workloads = paperWorkloadNames();
+    std::sort(workloads.begin(), workloads.end());
+
+    std::vector<CellSpec> cells;
+    for (const CampaignEnv env : config.envs) {
+        for (const auto &wl : workloads) {
+            const std::vector<Design> designs =
+                config.designs.empty() ? validDesigns(env)
+                                       : config.designs;
+            for (const Design design : designs) {
+                if (!designValidIn(env, design))
+                    continue;
+                cells.push_back({wl, env, design, false});
+                if (config.includeThp)
+                    cells.push_back({wl, env, design, true});
+            }
+        }
+    }
+    return cells;
+}
+
+std::vector<CellResult>
+runCampaign(const CampaignConfig &config, unsigned threads,
+            const std::function<void(const CellResult &, std::size_t,
+                                     std::size_t)> &progress)
+{
+    const std::vector<CellSpec> cells = enumerateCells(config);
+    std::vector<CellResult> results(cells.size());
+    if (cells.empty())
+        return results;
+
+    if (threads == 0)
+        threads = 1;
+    threads = std::min<unsigned>(
+        threads, static_cast<unsigned>(cells.size()));
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex progressMutex;
+
+    auto worker = [&]() {
+        while (true) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= cells.size())
+                return;
+            const CellSpec &spec = cells[i];
+            CellResult &res = results[i];
+            res.spec = spec;
+            res.seed = cellSeed(config.baseSeed, spec);
+            // Shared-nothing: the workload object, testbed, and
+            // trace all belong to this cell alone.
+            auto wl = makeWorkload(spec.workload, config.scale);
+            const TestbedConfig tb = scaledTestbedConfig(
+                config.scale,
+                spec.thp ? ThpMode::Always : ThpMode::Never);
+            res.outcome = runCell(*wl, spec.env, spec.design, tb,
+                                  config.sim, res.seed);
+            const std::size_t finished = done.fetch_add(1) + 1;
+            if (progress) {
+                const std::lock_guard<std::mutex> lock(progressMutex);
+                progress(res, finished, cells.size());
+            }
+        }
+    };
+
+    if (threads == 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (unsigned t = 0; t < threads; ++t)
+            pool.emplace_back(worker);
+        for (auto &th : pool)
+            th.join();
+    }
+    return results;
+}
+
+namespace
+{
+
+/** MPKI proxy: TLB-miss page walks per thousand accesses. */
+double
+mpki(const SimResult &sim)
+{
+    return sim.accesses ? 1000.0 * static_cast<double>(sim.walks) /
+                              static_cast<double>(sim.accesses)
+                        : 0.0;
+}
+
+double
+hitRatio(Counter hits, Counter accesses)
+{
+    return accesses ? static_cast<double>(hits) /
+                          static_cast<double>(accesses)
+                    : 0.0;
+}
+
+void
+emitConfig(JsonWriter &json, const CampaignConfig &config)
+{
+    json.key("config");
+    json.beginObject();
+    json.field("base_seed", config.baseSeed);
+    json.field("scale_denominator", 1.0 / config.scale);
+    json.field("warmup_accesses", config.sim.warmupAccesses);
+    json.field("measure_accesses", config.sim.measureAccesses);
+    json.field("include_thp", config.includeThp);
+    json.endObject();
+}
+
+} // namespace
+
+void
+emitCampaignJson(std::ostream &os, const CampaignConfig &config,
+                 const std::vector<CellResult> &results)
+{
+    JsonWriter json(os);
+    json.beginObject();
+    json.field("schema", campaignSchema);
+    emitConfig(json, config);
+
+    json.key("cells");
+    json.beginArray();
+    for (const CellResult &res : results) {
+        const SimResult &sim = res.outcome.sim;
+        json.beginObject();
+        json.field("env", envId(res.spec.env));
+        json.field("workload", res.spec.workload);
+        json.field("design", designId(res.spec.design));
+        json.field("mechanism", res.outcome.design);
+        json.field("thp", res.spec.thp);
+        json.field("seed", res.seed);
+        json.field("accesses", sim.accesses);
+        json.field("l1_tlb_hits", sim.l1TlbHits);
+        json.field("stlb_hits", sim.l2TlbHits);
+        json.field("l1_tlb_hit_ratio",
+                   hitRatio(sim.l1TlbHits, sim.accesses));
+        json.field("stlb_hit_ratio",
+                   hitRatio(sim.l2TlbHits, sim.accesses));
+        json.field("walks", sim.walks);
+        json.field("mpki", mpki(sim));
+        json.field("walk_cycles", sim.walkCycles);
+        json.field("mean_walk_latency", sim.meanWalkLatency());
+        json.field("overhead_per_access", sim.overheadPerAccess());
+        json.field("seq_refs", sim.seqRefs);
+        json.field("parallel_refs", sim.parallelRefs);
+        json.field("mean_seq_refs", sim.meanSeqRefs());
+        json.field("fallbacks", sim.fallbacks);
+        json.field("coverage", res.outcome.coverage);
+        json.field("shadow_exits", res.outcome.shadowExits);
+        json.field("hypercalls", res.outcome.hypercalls);
+        json.field("hypercall_cycles", res.outcome.hypercallCycles);
+        json.endObject();
+    }
+    json.endArray();
+
+    // Per-(env, design) aggregates across workloads, accumulated
+    // through the stats snapshot/merge machinery so the campaign
+    // exercises the same code the components use.
+    std::map<std::pair<std::string, std::string>, StatGroup>
+        aggregates;
+    for (const CellResult &res : results) {
+        const SimResult &sim = res.outcome.sim;
+        StatGroup cell("cell");
+        cell.scalar("overhead_per_access")
+            .sample(sim.overheadPerAccess());
+        cell.scalar("mean_walk_latency").sample(sim.meanWalkLatency());
+        cell.scalar("mpki").sample(mpki(sim));
+        cell.scalar("walks").inc(static_cast<double>(sim.walks));
+        cell.scalar("fallbacks")
+            .inc(static_cast<double>(sim.fallbacks));
+        const auto key = std::make_pair(envId(res.spec.env),
+                                        designId(res.spec.design));
+        auto it = aggregates.find(key);
+        if (it == aggregates.end()) {
+            it = aggregates
+                     .emplace(key, StatGroup(key.first + "/" +
+                                             key.second))
+                     .first;
+        }
+        it->second.merge(cell);
+    }
+
+    json.key("aggregates");
+    json.beginArray();
+    for (const auto &[key, group] : aggregates) {
+        json.beginObject();
+        json.field("env", key.first);
+        json.field("design", key.second);
+        json.field("cells", group.get("overhead_per_access").count());
+        json.field("mean_overhead_per_access",
+                   group.get("overhead_per_access").mean());
+        json.field("max_overhead_per_access",
+                   group.get("overhead_per_access").max());
+        json.field("mean_walk_latency",
+                   group.get("mean_walk_latency").mean());
+        json.field("mean_mpki", group.get("mpki").mean());
+        json.field("total_walks", group.get("walks").sum());
+        json.field("total_fallbacks", group.get("fallbacks").sum());
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+}
+
+void
+emitTimingJson(std::ostream &os, const CampaignConfig &config,
+               const std::vector<CellResult> &results,
+               unsigned threads, double wall_seconds)
+{
+    JsonWriter json(os);
+    json.beginObject();
+    json.field("schema", "dmt-campaign-timing-v1");
+    json.field("threads", static_cast<std::uint64_t>(threads));
+    json.field("campaign_wall_seconds", wall_seconds);
+    emitConfig(json, config);
+
+    double cellSeconds = 0.0;
+    std::uint64_t accesses = 0;
+    json.key("cells");
+    json.beginArray();
+    for (const CellResult &res : results) {
+        json.beginObject();
+        json.field("env", envId(res.spec.env));
+        json.field("workload", res.spec.workload);
+        json.field("design", designId(res.spec.design));
+        json.field("thp", res.spec.thp);
+        json.field("wall_seconds", res.outcome.wallSeconds);
+        json.field("accesses_per_sec", res.outcome.accessesPerSec);
+        json.endObject();
+        cellSeconds += res.outcome.wallSeconds;
+        accesses += res.outcome.sim.accesses;
+    }
+    json.endArray();
+    json.field("total_cell_seconds", cellSeconds);
+    json.field("total_measured_accesses", accesses);
+    json.field("aggregate_accesses_per_sec",
+               wall_seconds > 0.0
+                   ? static_cast<double>(accesses) / wall_seconds
+                   : 0.0);
+    json.endObject();
+}
+
+} // namespace driver
+} // namespace dmt

@@ -1,0 +1,197 @@
+#include "driver/json.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/log.hh"
+
+namespace dmt
+{
+
+void
+JsonWriter::separate()
+{
+    if (pendingKey_) {
+        pendingKey_ = false;
+        return;
+    }
+    if (!stack_.empty() && !firstInScope_)
+        os_ << ",";
+    if (!stack_.empty())
+        newline();
+    firstInScope_ = false;
+}
+
+void
+JsonWriter::newline()
+{
+    os_ << "\n";
+    for (std::size_t i = 0; i < stack_.size(); ++i)
+        os_ << "  ";
+}
+
+void
+JsonWriter::beginObject()
+{
+    separate();
+    os_ << "{";
+    stack_.push_back('o');
+    firstInScope_ = true;
+}
+
+void
+JsonWriter::endObject()
+{
+    DMT_ASSERT(!stack_.empty() && stack_.back() == 'o',
+               "endObject outside an object");
+    const bool empty = firstInScope_;
+    stack_.pop_back();
+    if (!empty)
+        newline();
+    os_ << "}";
+    firstInScope_ = false;
+    if (stack_.empty())
+        os_ << "\n";
+}
+
+void
+JsonWriter::beginArray()
+{
+    separate();
+    os_ << "[";
+    stack_.push_back('a');
+    firstInScope_ = true;
+}
+
+void
+JsonWriter::endArray()
+{
+    DMT_ASSERT(!stack_.empty() && stack_.back() == 'a',
+               "endArray outside an array");
+    const bool empty = firstInScope_;
+    stack_.pop_back();
+    if (!empty)
+        newline();
+    os_ << "]";
+    firstInScope_ = false;
+    if (stack_.empty())
+        os_ << "\n";
+}
+
+void
+JsonWriter::key(const std::string &name)
+{
+    DMT_ASSERT(!stack_.empty() && stack_.back() == 'o',
+               "key '%s' outside an object", name.c_str());
+    separate();
+    os_ << "\"" << escape(name) << "\": ";
+    pendingKey_ = true;
+}
+
+void
+JsonWriter::value(const std::string &v)
+{
+    separate();
+    os_ << "\"" << escape(v) << "\"";
+}
+
+void
+JsonWriter::value(const char *v)
+{
+    value(std::string(v));
+}
+
+void
+JsonWriter::value(double v)
+{
+    separate();
+    os_ << formatDouble(v);
+}
+
+void
+JsonWriter::value(std::uint64_t v)
+{
+    separate();
+    os_ << v;
+}
+
+void
+JsonWriter::value(std::int64_t v)
+{
+    separate();
+    os_ << v;
+}
+
+void
+JsonWriter::value(int v)
+{
+    separate();
+    os_ << v;
+}
+
+void
+JsonWriter::value(bool v)
+{
+    separate();
+    os_ << (v ? "true" : "false");
+}
+
+void
+JsonWriter::valueNull()
+{
+    separate();
+    os_ << "null";
+}
+
+std::string
+JsonWriter::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+JsonWriter::formatDouble(double v)
+{
+    if (std::isnan(v))
+        return "\"nan\"";
+    if (std::isinf(v))
+        return v > 0 ? "\"inf\"" : "\"-inf\"";
+    // Shortest decimal that round-trips to the same bits. The probe
+    // loop is deterministic, so identical doubles always serialize to
+    // identical bytes — the property the campaign diff relies on.
+    char buf[64];
+    for (int precision = 1; precision <= 17; ++precision) {
+        std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+        if (std::strtod(buf, nullptr) == v)
+            break;
+    }
+    std::string out = buf;
+    // Bare integers would change the JSON type; keep them doubles.
+    if (out.find_first_of(".eE") == std::string::npos)
+        out += ".0";
+    return out;
+}
+
+} // namespace dmt

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Minimal deterministic JSON emitter.
+ *
+ * The campaign runner and the bench binaries must produce output that
+ * is byte-identical across runs and thread counts, so the emitter is
+ * deliberately dumb: it streams tokens in the exact order the caller
+ * provides them, formats doubles with a fixed round-trippable format,
+ * and never reorders keys. Callers are responsible for emitting keys
+ * in a stable (sorted or canonically enumerated) order.
+ */
+
+#ifndef DMT_DRIVER_JSON_HH
+#define DMT_DRIVER_JSON_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dmt
+{
+
+/** Streaming JSON writer with two-space indentation. */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : os_(os) {}
+
+    JsonWriter(const JsonWriter &) = delete;
+    JsonWriter &operator=(const JsonWriter &) = delete;
+
+    /** Open an object ('{'). As a value, follows a pending key. */
+    void beginObject();
+    void endObject();
+
+    void beginArray();
+    void endArray();
+
+    /** Emit an object key; the next emitted item is its value. */
+    void key(const std::string &name);
+
+    void value(const std::string &v);
+    void value(const char *v);
+    void value(double v);
+    void value(std::uint64_t v);
+    void value(std::int64_t v);
+    void value(int v);
+    void value(bool v);
+    void valueNull();
+
+    /** key() + value() in one call. */
+    template <typename T>
+    void
+    field(const std::string &name, const T &v)
+    {
+        key(name);
+        value(v);
+    }
+
+    /** Escape a string per RFC 8259 (without the quotes). */
+    static std::string escape(const std::string &s);
+
+    /**
+     * Format a double deterministically: shortest round-trippable
+     * decimal via %.17g, with non-finite values mapped to null-safe
+     * strings (JSON has no inf/nan).
+     */
+    static std::string formatDouble(double v);
+
+  private:
+    void separate();
+    void newline();
+
+    std::ostream &os_;
+    /** Nesting stack: 'o' = object, 'a' = array. */
+    std::vector<char> stack_;
+    bool firstInScope_ = true;
+    bool pendingKey_ = false;
+};
+
+} // namespace dmt
+
+#endif // DMT_DRIVER_JSON_HH

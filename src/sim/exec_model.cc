@@ -62,6 +62,19 @@ modelExecTime(const Calibration &cal, Environment env,
             tIdeal -= shadow * (1.0 - shadow_exit_scale);
     }
 
+    // Aggressive calibrations (large walk + shadow fractions) can
+    // push the shadow-exit subtraction past the ideal-time term. A
+    // negative T_ideal is non-physical and would feed a negative
+    // execution time into downstream geomeans (tripping their
+    // positivity assertion); clamp and flag the calibration instead.
+    if (tIdeal < 0.0) {
+        warn("modelExecTime: ideal-time term is negative (%f) after "
+             "shadow-exit subtraction; clamping to 0 — check the "
+             "calibration's walk/shadow fractions",
+             tIdeal);
+        tIdeal = 0.0;
+    }
+
     return oMeasure * (o_sim_target / o_sim_vanilla) + tIdeal;
 }
 

@@ -21,13 +21,29 @@ recordTrace(TraceSource &source, std::uint64_t count,
     if (!f)
         fatal("cannot open trace file '%s' for writing",
               path.c_str());
-    std::fwrite(magic, 1, sizeof(magic), f);
-    std::fwrite(&count, sizeof(count), 1, f);
+    // A short write (disk full, quota, I/O error) must fail loudly
+    // here, not as a "truncated trace" at the next load.
+    std::uint64_t offset = 0;
+    auto write = [&](const void *data, std::size_t bytes) {
+        if (std::fwrite(data, 1, bytes, f) != bytes) {
+            std::fclose(f);
+            fatal("short write to trace file '%s' at byte offset "
+                  "%llu (disk full?)",
+                  path.c_str(),
+                  static_cast<unsigned long long>(offset));
+        }
+        offset += bytes;
+    };
+    write(magic, sizeof(magic));
+    write(&count, sizeof(count));
     for (std::uint64_t i = 0; i < count; ++i) {
         const Addr va = source.next();
-        std::fwrite(&va, sizeof(va), 1, f);
+        write(&va, sizeof(va));
     }
-    std::fclose(f);
+    if (std::fclose(f) != 0)
+        fatal("error closing trace file '%s' after %llu bytes "
+              "(write-back failed?)",
+              path.c_str(), static_cast<unsigned long long>(offset));
 }
 
 FileTrace::FileTrace(const std::string &path)
@@ -46,15 +62,45 @@ FileTrace::FileTrace(const std::string &path)
         std::fclose(f);
         fatal("'%s': truncated header", path.c_str());
     }
+    if (count == 0) {
+        std::fclose(f);
+        fatal("'%s': empty trace", path.c_str());
+    }
+    // Never trust the header's count for the allocation size: a
+    // corrupt header would otherwise trigger a multi-GB resize (or
+    // std::bad_alloc). Bound it by what the file can actually hold.
+    const long headerBytes = std::ftell(f);
+    if (headerBytes < 0 || std::fseek(f, 0, SEEK_END) != 0) {
+        std::fclose(f);
+        fatal("'%s': cannot determine trace file size",
+              path.c_str());
+    }
+    const long fileBytes = std::ftell(f);
+    if (fileBytes < 0) {
+        std::fclose(f);
+        fatal("'%s': cannot determine trace file size",
+              path.c_str());
+    }
+    const std::uint64_t bodyBytes =
+        static_cast<std::uint64_t>(fileBytes - headerBytes);
+    if (count > bodyBytes / sizeof(Addr)) {
+        std::fclose(f);
+        fatal("'%s': header claims %llu addresses but the file only "
+              "holds %llu (corrupt or truncated trace)",
+              path.c_str(), static_cast<unsigned long long>(count),
+              static_cast<unsigned long long>(bodyBytes /
+                                              sizeof(Addr)));
+    }
+    if (std::fseek(f, headerBytes, SEEK_SET) != 0) {
+        std::fclose(f);
+        fatal("'%s': seek failed", path.c_str());
+    }
     addrs_.resize(count);
-    if (count > 0 &&
-        std::fread(addrs_.data(), sizeof(Addr), count, f) != count) {
+    if (std::fread(addrs_.data(), sizeof(Addr), count, f) != count) {
         std::fclose(f);
         fatal("'%s': truncated trace body", path.c_str());
     }
     std::fclose(f);
-    if (addrs_.empty())
-        fatal("'%s': empty trace", path.c_str());
 }
 
 Addr

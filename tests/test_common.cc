@@ -135,5 +135,57 @@ TEST(Stats, GroupDumpAndLookup)
     EXPECT_NE(os.str().find("tlb.hits"), std::string::npos);
 }
 
+TEST(Stats, ScalarMergeEqualsCombinedSampleStream)
+{
+    ScalarStat left, right, combined;
+    for (double v : {4.0, 8.0}) {
+        left.sample(v);
+        combined.sample(v);
+    }
+    for (double v : {1.0, 16.0, 2.0}) {
+        right.sample(v);
+        combined.sample(v);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), combined.count());
+    EXPECT_DOUBLE_EQ(left.sum(), combined.sum());
+    EXPECT_DOUBLE_EQ(left.min(), combined.min());
+    EXPECT_DOUBLE_EQ(left.max(), combined.max());
+
+    // Merging an empty stat is a no-op; merging into an empty stat
+    // copies.
+    ScalarStat empty;
+    left.merge(empty);
+    EXPECT_EQ(left.count(), combined.count());
+    ScalarStat fresh;
+    fresh.merge(combined);
+    EXPECT_DOUBLE_EQ(fresh.min(), combined.min());
+    EXPECT_DOUBLE_EQ(fresh.max(), combined.max());
+}
+
+TEST(Stats, GroupSnapshotAndMerge)
+{
+    StatGroup worker1("cell");
+    worker1.scalar("walks").inc(10);
+    StatGroup worker2("cell");
+    worker2.scalar("walks").inc(5);
+    worker2.scalar("fallbacks").inc(1);
+
+    StatGroup total("campaign");
+    total.merge(worker1);
+    total.merge(worker2);
+    EXPECT_EQ(total.get("walks").count(), 2u);
+    EXPECT_DOUBLE_EQ(total.get("walks").sum(), 15.0);
+    EXPECT_DOUBLE_EQ(total.get("fallbacks").sum(), 1.0);
+
+    const auto snap = total.snapshot();
+    EXPECT_EQ(snap.size(), 2u);
+    EXPECT_DOUBLE_EQ(snap.at("walks").sum(), 15.0);
+    // The snapshot is a copy: later samples don't retroactively
+    // appear in it.
+    total.scalar("walks").inc(100);
+    EXPECT_DOUBLE_EQ(snap.at("walks").sum(), 15.0);
+}
+
 } // namespace
 } // namespace dmt
