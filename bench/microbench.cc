@@ -1,0 +1,300 @@
+/**
+ * @file
+ * dmt-microbench — wall-clock throughput of every hot-path subsystem.
+ *
+ *   dmt-microbench [--json[=PATH]] [--ops N] [--quiet]
+ *
+ * Reports accesses/sec for the layers the simulator's inner loop is
+ * built from, bottom-up: raw PhysicalMemory words, a single TLB, the
+ * full cache stack, a complete radix page walk, a complete DMT fetch,
+ * and the end-to-end trace loop (TLBs + mechanism + caches). The JSON
+ * document (schema dmt-microbench-v1) is the perf trajectory future
+ * PRs compare against.
+ *
+ * Numbers are wall-clock and therefore machine-dependent and
+ * non-deterministic; like the campaign timing sidecar they are
+ * informational only and never part of a byte-compared artifact. The
+ * checked-in BENCH_microbench.json snapshot is produced by a plain
+ * Release build (no DMT_NATIVE).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "driver/json.hh"
+#include "mem/memory_hierarchy.hh"
+#include "mem/physical_memory.hh"
+#include "sim/testbed.hh"
+#include "sim/translation_sim.hh"
+#include "tlb/tlb.hh"
+#include "workloads/workloads.hh"
+
+using namespace dmt;
+
+namespace
+{
+
+struct Options
+{
+    std::uint64_t ops = 4'000'000;  //!< iterations for the raw loops
+    bool json = false;
+    std::string jsonPath = "BENCH_microbench.json";
+    bool quiet = false;
+};
+
+struct BenchResult
+{
+    std::string name;
+    std::uint64_t ops = 0;
+    double seconds = 0.0;
+
+    double
+    opsPerSec() const
+    {
+        return seconds > 0.0 ? static_cast<double>(ops) / seconds
+                             : 0.0;
+    }
+};
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::printf("usage: %s [--json[=PATH]] [--ops N] [--quiet]\n",
+                argv0);
+    std::exit(2);
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json") {
+            opt.json = true;
+        } else if (arg.rfind("--json=", 0) == 0) {
+            opt.json = true;
+            opt.jsonPath = arg.substr(7);
+        } else if (arg == "--ops") {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            opt.ops = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--quiet") {
+            opt.quiet = true;
+        } else {
+            usage(argv[0]);
+        }
+    }
+    if (opt.ops == 0)
+        opt.ops = 1;
+    return opt;
+}
+
+using Clock = std::chrono::steady_clock;
+
+/** Optimization barrier: forces `v` to be materialized. */
+std::uint64_t sink_;
+
+void
+sink(std::uint64_t v)
+{
+    sink_ += v;
+}
+
+/** Raw PhysicalMemory word reads/writes over a sparse 256 MB span. */
+BenchResult
+benchPhysicalMemory(std::uint64_t ops)
+{
+    PhysicalMemory mem(Addr{256} << 20);
+    // Materialize a page-table-like footprint: every 64th word.
+    for (Addr pa = 0; pa < mem.size(); pa += 512)
+        mem.write64(pa, pa | 1);
+    Rng rng(42);
+    std::vector<Addr> addrs(8192);
+    for (auto &pa : addrs)
+        pa = rng.below(mem.size() >> 3) << 3;
+    const auto start = Clock::now();
+    std::uint64_t acc = 0;
+    for (std::uint64_t i = 0; i < ops; ++i) {
+        const Addr pa = addrs[i & 8191];
+        acc += mem.read64(pa);
+        if ((i & 15) == 0)
+            mem.write64(pa, i);
+    }
+    const std::chrono::duration<double> dt = Clock::now() - start;
+    sink(acc);
+    return {"physmem.read64", ops, dt.count()};
+}
+
+/** Single-TLB lookups, ~90% hits, 4 KB entries only. */
+BenchResult
+benchTlb(std::uint64_t ops)
+{
+    Tlb tlb({"ub-tlb", 1536, 12});
+    Rng rng(43);
+    std::vector<Addr> addrs(8192);
+    for (auto &va : addrs) {
+        // 9 of 10 addresses fall in a resident window.
+        const bool hit = rng.below(10) != 0;
+        const Addr page = hit ? rng.below(1024)
+                              : 1024 + rng.below(1u << 20);
+        va = page << pageShift;
+    }
+    for (Addr page = 0; page < 1024; ++page)
+        tlb.insert(page << pageShift, PageSize::Size4K);
+    const auto start = Clock::now();
+    std::uint64_t hits = 0;
+    for (std::uint64_t i = 0; i < ops; ++i)
+        hits += tlb.lookup(addrs[i & 8191]).has_value();
+    const std::chrono::duration<double> dt = Clock::now() - start;
+    sink(hits);
+    return {"tlb.lookup", ops, dt.count()};
+}
+
+/** Full L1/L2/LLC stack with an LLC-sized working set. */
+BenchResult
+benchCacheStack(std::uint64_t ops)
+{
+    MemoryHierarchy caches;
+    Rng rng(44);
+    const Addr span = caches.config().llc.sizeBytes * 2;
+    std::vector<Addr> addrs(8192);
+    for (auto &pa : addrs)
+        pa = rng.below(span >> 6) << 6;
+    const auto start = Clock::now();
+    std::uint64_t cycles = 0;
+    for (std::uint64_t i = 0; i < ops; ++i)
+        cycles += caches.access(addrs[i & 8191]);
+    const std::chrono::duration<double> dt = Clock::now() - start;
+    sink(cycles);
+    return {"caches.access", ops, dt.count()};
+}
+
+constexpr double kScale = 1.0 / 64.0;
+constexpr std::uint64_t kSeed = 42;
+
+/** Pre-generate trace VAs so the generator is outside the timing. */
+std::vector<Addr>
+traceAddrs(const Workload &workload, std::size_t count)
+{
+    auto trace = workload.trace(kSeed);
+    std::vector<Addr> vas(count);
+    for (auto &va : vas)
+        va = trace->next();
+    return vas;
+}
+
+/** Full translation per call (no TLB): one design's walk() path. */
+BenchResult
+benchWalk(const std::string &name, Design design, std::uint64_t ops)
+{
+    auto workload = makeWorkload("GUPS", kScale);
+    NativeTestbed tb(workload->footprintBytes(),
+                     scaledTestbedConfig(kScale));
+    if (design == Design::Dmt)
+        tb.attachDmt();
+    workload->setup(tb.proc());
+    auto &mech = tb.build(design);
+    const auto vas = traceAddrs(*workload, 8192);
+    const auto start = Clock::now();
+    std::uint64_t cycles = 0;
+    for (std::uint64_t i = 0; i < ops; ++i)
+        cycles += mech.walk(vas[i & 8191]).latency;
+    const std::chrono::duration<double> dt = Clock::now() - start;
+    sink(cycles);
+    return {name, ops, dt.count()};
+}
+
+/** End-to-end trace loop: TLBs + mechanism + caches. */
+BenchResult
+benchEndToEnd(const std::string &name, Design design,
+              std::uint64_t accesses)
+{
+    auto workload = makeWorkload("GUPS", kScale);
+    NativeTestbed tb(workload->footprintBytes(),
+                     scaledTestbedConfig(kScale));
+    if (design == Design::Dmt)
+        tb.attachDmt();
+    workload->setup(tb.proc());
+    auto &mech = tb.build(design);
+    auto trace = workload->trace(kSeed);
+    TranslationSimulator sim(mech, tb.tlbs(), tb.caches());
+    SimConfig config;
+    config.warmupAccesses = accesses / 5;
+    config.measureAccesses = accesses;
+    const auto start = Clock::now();
+    const SimResult res = sim.run(*trace, config);
+    const std::chrono::duration<double> dt = Clock::now() - start;
+    sink(res.accesses);
+    return {name, config.warmupAccesses + config.measureAccesses,
+            dt.count()};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parse(argc, argv);
+
+    std::vector<BenchResult> results;
+    results.push_back(benchPhysicalMemory(opt.ops));
+    results.push_back(benchTlb(opt.ops));
+    results.push_back(benchCacheStack(opt.ops));
+    const std::uint64_t walkOps = opt.ops / 20;
+    results.push_back(
+        benchWalk("radix.walk", Design::Vanilla, walkOps));
+    results.push_back(benchWalk("dmt.fetch", Design::Dmt, walkOps));
+    results.push_back(
+        benchEndToEnd("e2e.vanilla", Design::Vanilla, walkOps));
+    results.push_back(benchEndToEnd("e2e.dmt", Design::Dmt, walkOps));
+
+    if (!opt.quiet) {
+        std::printf("%-14s %12s %10s %14s\n", "subsystem", "ops",
+                    "seconds", "accesses/sec");
+        for (const auto &r : results)
+            std::printf("%-14s %12llu %10.3f %14.0f\n",
+                        r.name.c_str(),
+                        static_cast<unsigned long long>(r.ops),
+                        r.seconds, r.opsPerSec());
+    }
+
+    if (opt.json) {
+        std::ofstream os(opt.jsonPath, std::ios::binary);
+        if (!os)
+            fatal("cannot open '%s' for writing",
+                  opt.jsonPath.c_str());
+        JsonWriter json(os);
+        json.beginObject();
+        json.field("schema", "dmt-microbench-v1");
+        json.key("config");
+        json.beginObject();
+        json.field("ops", opt.ops);
+        json.field("workload", "GUPS");
+        json.field("scale_denominator", 1.0 / kScale);
+        json.endObject();
+        json.key("results");
+        json.beginArray();
+        for (const auto &r : results) {
+            json.beginObject();
+            json.field("name", r.name);
+            json.field("ops", r.ops);
+            json.field("seconds", r.seconds);
+            json.field("ops_per_sec", r.opsPerSec());
+            json.endObject();
+        }
+        json.endArray();
+        json.endObject();
+        os << "\n";
+        if (!os.good())
+            fatal("error writing '%s'", opt.jsonPath.c_str());
+    }
+    return 0;
+}

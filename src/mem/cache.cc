@@ -41,14 +41,22 @@ Cache::tagOf(Addr addr) const
 bool
 Cache::access(Addr addr)
 {
-    const std::size_t base = setIndex(addr) * config_.associativity;
     const Addr tag = tagOf(addr);
     ++tick_;
+    // MRU filter: repeated touches of one line skip the set scan.
+    // Counter and LRU updates are identical to the scan's hit path.
+    if (Way &mru = ways_[mru_]; mru.valid && mru.tag == tag) {
+        mru.lastUse = tick_;
+        ++hits_;
+        return true;
+    }
+    const std::size_t base = setIndex(addr) * config_.associativity;
     for (int w = 0; w < config_.associativity; ++w) {
         Way &way = ways_[base + w];
         if (way.valid && way.tag == tag) {
             way.lastUse = tick_;
             ++hits_;
+            mru_ = base + w;
             return true;
         }
     }
@@ -81,6 +89,7 @@ Cache::insert(Addr addr)
     victim->valid = true;
     victim->tag = tag;
     victim->lastUse = tick_;
+    mru_ = static_cast<std::size_t>(victim - ways_.data());
 }
 
 void

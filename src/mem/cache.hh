@@ -39,6 +39,10 @@ class Cache
 
     /**
      * Look up a line; on hit, the line is promoted to MRU.
+     * A one-entry MRU filter short-circuits the set scan when the
+     * same line is touched back to back (common for walk metadata);
+     * the filter is invisible in stats — hit/miss counters and LRU
+     * stamps evolve exactly as the plain scan would.
      * @return true on hit.
      */
     bool access(Addr addr);
@@ -82,6 +86,13 @@ class Cache
     std::size_t numSets_;
     int lineShift_;
     std::vector<Way> ways_;  //!< numSets_ * associativity, set-major
+    /**
+     * Index of the most recently hit/inserted way. A tag match here
+     * is conclusive: tags embed the set index, so an equal tag in
+     * the wrong set is impossible while the set-indexing invariant
+     * (audited) holds.
+     */
+    std::size_t mru_ = 0;
     std::uint64_t tick_ = 0;
     Counter hits_ = 0;
     Counter misses_ = 0;

@@ -7,10 +7,8 @@ namespace dmt
 {
 
 MemoryHierarchy::MemoryHierarchy(const HierarchyConfig &config)
-    : config_(config),
-      l1d_(std::make_unique<Cache>(config.l1d)),
-      l2_(std::make_unique<Cache>(config.l2)),
-      llc_(std::make_unique<Cache>(config.llc))
+    : config_(config), l1d_(config.l1d), l2_(config.l2),
+      llc_(config.llc)
 {
 }
 
@@ -27,9 +25,9 @@ MemoryHierarchy::attachAuditor(InvariantAuditor &auditor,
     DMT_ASSERT(auditor_ == nullptr, "cache hierarchy already audited");
     auditor_ = &auditor;
     auditHookId_ = auditor.registerHook(name, [this](AuditSink &sink) {
-        l1d_->audit(sink);
-        l2_->audit(sink);
-        llc_->audit(sink);
+        l1d_.audit(sink);
+        l2_.audit(sink);
+        llc_.audit(sink);
     });
 }
 
@@ -44,25 +42,25 @@ Cycles
 MemoryHierarchy::access(Addr pa, HitLevel &level)
 {
     ++accesses_;
-    if (l1d_->access(pa)) {
+    if (l1d_.access(pa)) {
         level = HitLevel::L1;
         return config_.l1d.roundTrip;
     }
-    if (l2_->access(pa)) {
-        l1d_->insert(pa);
+    if (l2_.access(pa)) {
+        l1d_.insert(pa);
         level = HitLevel::L2;
         return config_.l2.roundTrip;
     }
-    if (llc_->access(pa)) {
-        l2_->insert(pa);
-        l1d_->insert(pa);
+    if (llc_.access(pa)) {
+        l2_.insert(pa);
+        l1d_.insert(pa);
         level = HitLevel::LLC;
         return config_.llc.roundTrip;
     }
     ++memAccesses_;
-    llc_->insert(pa);
-    l2_->insert(pa);
-    l1d_->insert(pa);
+    llc_.insert(pa);
+    l2_.insert(pa);
+    l1d_.insert(pa);
     level = HitLevel::Memory;
     DMT_AUDIT_EVENT(auditor_);
     return config_.memoryRoundTrip;
@@ -72,11 +70,11 @@ Cycles
 MemoryHierarchy::accessClean(Addr pa)
 {
     ++accesses_;
-    if (l1d_->access(pa))
+    if (l1d_.access(pa))
         return config_.l1d.roundTrip;
-    if (l2_->access(pa))
+    if (l2_.access(pa))
         return config_.l2.roundTrip;
-    if (llc_->access(pa))
+    if (llc_.access(pa))
         return config_.llc.roundTrip;
     ++memAccesses_;
     return config_.memoryRoundTrip;
@@ -87,27 +85,27 @@ MemoryHierarchy::prefetch(Addr pa)
 {
     // Prefetches fill L2 and LLC but not L1, mirroring how hardware
     // PTE prefetchers (ASAP) avoid polluting the small L1.
-    if (!llc_->access(pa))
-        llc_->insert(pa);
-    if (!l2_->access(pa))
-        l2_->insert(pa);
+    if (!llc_.access(pa))
+        llc_.insert(pa);
+    if (!l2_.access(pa))
+        l2_.insert(pa);
     DMT_AUDIT_EVENT(auditor_);
 }
 
 void
 MemoryHierarchy::invalidate(Addr pa)
 {
-    l1d_->invalidate(pa);
-    l2_->invalidate(pa);
-    llc_->invalidate(pa);
+    l1d_.invalidate(pa);
+    l2_.invalidate(pa);
+    llc_.invalidate(pa);
 }
 
 void
 MemoryHierarchy::flush()
 {
-    l1d_->flush();
-    l2_->flush();
-    llc_->flush();
+    l1d_.flush();
+    l2_.flush();
+    llc_.flush();
     DMT_AUDIT_EVENT(auditor_);
 }
 

@@ -16,8 +16,6 @@
 #ifndef DMT_MEM_MEMORY_HIERARCHY_HH
 #define DMT_MEM_MEMORY_HIERARCHY_HH
 
-#include <memory>
-
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "mem/cache.hh"
@@ -92,9 +90,9 @@ class MemoryHierarchy
 
     ~MemoryHierarchy();
 
-    const Cache &l1d() const { return *l1d_; }
-    const Cache &l2() const { return *l2_; }
-    const Cache &llc() const { return *llc_; }
+    const Cache &l1d() const { return l1d_; }
+    const Cache &l2() const { return l2_; }
+    const Cache &llc() const { return llc_; }
     const HierarchyConfig &config() const { return config_; }
 
     Counter accesses() const { return accesses_; }
@@ -102,9 +100,11 @@ class MemoryHierarchy
 
   private:
     HierarchyConfig config_;
-    std::unique_ptr<Cache> l1d_;
-    std::unique_ptr<Cache> l2_;
-    std::unique_ptr<Cache> llc_;
+    // Direct members (no unique_ptr indirection): every access()
+    // touches all levels that miss, so keep them on one allocation.
+    Cache l1d_;
+    Cache l2_;
+    Cache llc_;
     Counter accesses_ = 0;
     Counter memAccesses_ = 0;
     InvariantAuditor *auditor_ = nullptr;

@@ -1,11 +1,16 @@
 #include "mem/physical_memory.hh"
 
+#include <algorithm>
+#include <cstring>
+
 #include "common/log.hh"
 
 namespace dmt
 {
 
-PhysicalMemory::PhysicalMemory(Addr size_bytes) : size_(size_bytes)
+PhysicalMemory::PhysicalMemory(Addr size_bytes)
+    : size_(size_bytes),
+      frames_((size_bytes + frameBytes - 1) >> frameShift)
 {
     DMT_ASSERT(size_bytes > 0, "physical memory must be non-empty");
 }
@@ -22,23 +27,55 @@ PhysicalMemory::checkAccess(Addr pa) const
               static_cast<unsigned long long>(pa));
 }
 
-std::uint64_t
-PhysicalMemory::read64(Addr pa) const
+void
+PhysicalMemory::checkRange(Addr pa, Addr bytes, const char *what) const
 {
-    checkAccess(pa);
-    auto it = words_.find(pa);
-    return it == words_.end() ? 0 : it->second;
+    if (pa + bytes < pa || pa + bytes > size_)
+        panic("%s [0x%llx, +0x%llx) beyond memory size 0x%llx", what,
+              static_cast<unsigned long long>(pa),
+              static_cast<unsigned long long>(bytes),
+              static_cast<unsigned long long>(size_));
 }
 
 void
 PhysicalMemory::write64(Addr pa, std::uint64_t value)
 {
     checkAccess(pa);
-    if (value == 0) {
-        words_.erase(pa);
-    } else {
-        words_[pa] = value;
+    Frame *frame = frames_[pa >> frameShift].get();
+    if (!frame) {
+        if (value == 0)
+            return;  // zero into an unmaterialised frame: no-op
+        auto fresh = std::make_unique<Frame>();
+        frame = fresh.get();
+        frames_[pa >> frameShift] = std::move(fresh);
+        ++framesInUse_;
     }
+    std::uint64_t &slot = frame->words[wordIndex(pa)];
+    if (value != 0 && slot == 0) {
+        ++frame->nonzero;
+        ++nonzeroWords_;
+    } else if (value == 0 && slot != 0) {
+        --frame->nonzero;
+        --nonzeroWords_;
+    }
+    slot = value;
+}
+
+void
+PhysicalMemory::zeroWithinFrame(Addr pa, Addr bytes)
+{
+    Frame *frame = frames_[pa >> frameShift].get();
+    if (!frame || frame->nonzero == 0)
+        return;
+    const std::size_t first = wordIndex(pa);
+    const std::size_t count = bytes >> 3;
+    for (std::size_t w = first; w < first + count; ++w) {
+        if (frame->words[w] != 0) {
+            --frame->nonzero;
+            --nonzeroWords_;
+        }
+    }
+    std::memset(frame->words.data() + first, 0, count * 8);
 }
 
 void
@@ -46,8 +83,24 @@ PhysicalMemory::zeroRange(Addr pa, Addr bytes)
 {
     DMT_ASSERT((pa & 7) == 0 && (bytes & 7) == 0,
                "zeroRange must be word aligned");
-    for (Addr off = 0; off < bytes; off += 8)
-        words_.erase(pa + off);
+    checkRange(pa, bytes, "zeroRange");
+    const Addr end = pa + bytes;
+    while (pa < end) {
+        const Addr frameEnd = (pa & ~frameMask) + frameBytes;
+        const Addr chunkEnd = std::min(end, frameEnd);
+        if (pa == (pa & ~frameMask) && chunkEnd == frameEnd) {
+            // Whole frame: drop it (reads as zero again).
+            auto &slot = frames_[pa >> frameShift];
+            if (slot) {
+                nonzeroWords_ -= slot->nonzero;
+                slot.reset();
+                --framesInUse_;
+            }
+        } else {
+            zeroWithinFrame(pa, chunkEnd - pa);
+        }
+        pa = chunkEnd;
+    }
 }
 
 void
@@ -57,8 +110,51 @@ PhysicalMemory::copyRange(Addr dst, Addr src, Addr bytes)
                "copyRange must be word aligned");
     DMT_ASSERT(dst + bytes <= src || src + bytes <= dst,
                "copyRange ranges must not overlap");
-    for (Addr off = 0; off < bytes; off += 8)
-        write64(dst + off, read64(src + off));
+    checkRange(dst, bytes, "copyRange dst");
+    checkRange(src, bytes, "copyRange src");
+    while (bytes > 0) {
+        // Chunks never straddle a frame boundary on either side.
+        const Addr chunk =
+            std::min({bytes, frameBytes - (dst & frameMask),
+                      frameBytes - (src & frameMask)});
+        const Frame *from = frames_[src >> frameShift].get();
+        if (!from || from->nonzero == 0) {
+            // Source reads as zero: equivalent to zeroing dst.
+            if (dst == (dst & ~frameMask) && chunk == frameBytes) {
+                auto &slot = frames_[dst >> frameShift];
+                if (slot) {
+                    nonzeroWords_ -= slot->nonzero;
+                    slot.reset();
+                    --framesInUse_;
+                }
+            } else {
+                zeroWithinFrame(dst, chunk);
+            }
+        } else {
+            Frame *to = frames_[dst >> frameShift].get();
+            if (!to) {
+                auto fresh = std::make_unique<Frame>();
+                to = fresh.get();
+                frames_[dst >> frameShift] = std::move(fresh);
+                ++framesInUse_;
+            }
+            const std::size_t words = chunk >> 3;
+            const std::size_t df = wordIndex(dst);
+            const std::size_t sf = wordIndex(src);
+            std::size_t delta = 0;  // nonzero words, new minus old
+            for (std::size_t w = 0; w < words; ++w) {
+                delta += (from->words[sf + w] != 0) ? 1 : 0;
+                delta -= (to->words[df + w] != 0) ? 1 : 0;
+            }
+            std::memcpy(to->words.data() + df, from->words.data() + sf,
+                        chunk);
+            to->nonzero += static_cast<std::uint32_t>(delta);
+            nonzeroWords_ += delta;
+        }
+        dst += chunk;
+        src += chunk;
+        bytes -= chunk;
+    }
 }
 
 } // namespace dmt

@@ -1,18 +1,28 @@
 /**
  * @file
- * Sparse simulated physical memory.
+ * Sparse simulated physical memory, frame-granular.
  *
  * Backing store for page tables, TEAs, and any other structure whose
  * *content* the simulator must read back (the page walkers really read
  * PTE values from here). Data pages do not need content, so the store
- * only materialises words that were written.
+ * only materialises 4 KB frames that were written.
+ *
+ * Storage is a flat frame directory: a dense vector of frame pointers
+ * indexed by frame number (capacity is known at construction), each
+ * frame holding 512 words. read64/write64 are two array indexes — no
+ * hashing on the walkers' per-PTE path — zeroRange is a per-frame
+ * memset (or a frame drop), and copyRange is a memcpy. Words in
+ * unmaterialised frames read as zero, preserving the zero-fill
+ * contract of the old word-map store.
  */
 
 #ifndef DMT_MEM_PHYSICAL_MEMORY_HH
 #define DMT_MEM_PHYSICAL_MEMORY_HH
 
+#include <array>
 #include <cstdint>
-#include <unordered_map>
+#include <memory>
+#include <vector>
 
 #include "common/types.hh"
 #include "mem/memory.hh"
@@ -32,7 +42,13 @@ class PhysicalMemory : public Memory
     explicit PhysicalMemory(Addr size_bytes);
 
     /** Read an aligned 64-bit word; unwritten words read as zero. */
-    std::uint64_t read64(Addr pa) const override;
+    std::uint64_t
+    read64(Addr pa) const override
+    {
+        checkAccess(pa);
+        const Frame *frame = frames_[pa >> frameShift].get();
+        return frame ? frame->words[wordIndex(pa)] : 0;
+    }
 
     /** Write an aligned 64-bit word. */
     void write64(Addr pa, std::uint64_t value) override;
@@ -51,14 +67,49 @@ class PhysicalMemory : public Memory
     /** @return true if pa is a valid address in this memory. */
     bool contains(Addr pa) const { return pa < size_; }
 
-    /** @return the number of materialised (written, nonzero) words. */
-    std::size_t wordsInUse() const { return words_.size(); }
+    /**
+     * @return the number of materialised *nonzero* words. Writing
+     *         zero (to a fresh or an existing word) never inflates
+     *         this count; it is the simulated-content footprint, not
+     *         the allocation footprint.
+     */
+    std::size_t wordsInUse() const { return nonzeroWords_; }
+
+    /** @return the number of materialised 4 KB frames. */
+    std::size_t framesInUse() const { return framesInUse_; }
 
   private:
+    /// Frame geometry: 4 KB frames of 512 words.
+    static constexpr int frameShift = 12;
+    static constexpr Addr frameBytes = Addr{1} << frameShift;
+    static constexpr Addr frameMask = frameBytes - 1;
+    static constexpr std::size_t frameWords = frameBytes / 8;
+
+    /** One materialised frame; words value-initialise to zero. */
+    struct Frame
+    {
+        std::array<std::uint64_t, frameWords> words{};
+        /** Nonzero words resident in this frame. */
+        std::uint32_t nonzero = 0;
+    };
+
+    static std::size_t
+    wordIndex(Addr pa)
+    {
+        return (pa & frameMask) >> 3;
+    }
+
     void checkAccess(Addr pa) const;
+    void checkRange(Addr pa, Addr bytes, const char *what) const;
+
+    /** Zero a word-aligned span that lies within a single frame. */
+    void zeroWithinFrame(Addr pa, Addr bytes);
 
     Addr size_;
-    std::unordered_map<Addr, std::uint64_t> words_;
+    /** Flat frame directory; null = unmaterialised (reads as zero). */
+    std::vector<std::unique_ptr<Frame>> frames_;
+    std::size_t nonzeroWords_ = 0;
+    std::size_t framesInUse_ = 0;
 };
 
 } // namespace dmt

@@ -295,10 +295,10 @@ RadixPageTable::translate(Addr va) const
     return std::nullopt;
 }
 
-std::vector<WalkStep>
+WalkPath
 RadixPageTable::walkPath(Addr va) const
 {
-    std::vector<WalkStep> steps;
+    WalkPath steps;
     Pfn cur = rootPfn_;
     for (int level = levels_; level >= 1; --level) {
         const Addr slot = entrySlot(cur, va, level);

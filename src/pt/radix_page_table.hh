@@ -17,12 +17,15 @@
 #ifndef DMT_PT_RADIX_PAGE_TABLE_HH
 #define DMT_PT_RADIX_PAGE_TABLE_HH
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/log.hh"
 #include "common/types.hh"
 #include "mem/memory.hh"
 #include "os/buddy_allocator.hh"
@@ -76,6 +79,41 @@ struct WalkStep
     std::uint64_t pte;  //!< its value
 };
 
+/**
+ * Fixed-capacity sequence of walk steps. A radix walk touches at
+ * most one PTE per level (5 with LA57), so the path lives entirely
+ * on the caller's stack — walkPath() is called once per TLB miss on
+ * every simulated design and must not allocate.
+ */
+class WalkPath
+{
+  public:
+    static constexpr std::size_t capacity = 5;
+
+    void
+    push_back(const WalkStep &step)
+    {
+        DMT_ASSERT(count_ < capacity, "walk path overflow");
+        steps_[count_++] = step;
+    }
+
+    std::size_t size() const { return count_; }
+    bool empty() const { return count_ == 0; }
+
+    const WalkStep &operator[](std::size_t i) const
+    {
+        return steps_[i];
+    }
+    const WalkStep &back() const { return steps_[count_ - 1]; }
+
+    const WalkStep *begin() const { return steps_.data(); }
+    const WalkStep *end() const { return steps_.data() + count_; }
+
+  private:
+    std::array<WalkStep, capacity> steps_{};
+    std::size_t count_ = 0;
+};
+
 /** x86-64 radix page table. */
 class RadixPageTable
 {
@@ -115,9 +153,11 @@ class RadixPageTable
      * translating va, root first.
      *
      * The walk stops early at a huge-page leaf or at a non-present
-     * entry (the last step reports the terminating entry).
+     * entry (the last step reports the terminating entry). Returned
+     * by value in a fixed-capacity WalkPath — no heap allocation on
+     * the per-TLB-miss path.
      */
-    std::vector<WalkStep> walkPath(Addr va) const;
+    WalkPath walkPath(Addr va) const;
 
     /**
      * Physical address of the *leaf* PTE for va, without walking —

@@ -343,9 +343,8 @@ VirtTestbed::attachDmt(bool pv)
 TranslationMechanism &
 VirtTestbed::build(Design design)
 {
-    const auto gpaToHva = [this](Addr gpa) {
-        return vm_->gpaToHva(gpa);
-    };
+    // gpaToHva(0) is the VM's constant gPA->hVA base offset.
+    const NestedWalker::GpaToHostVa gpaToHva{vm_->gpaToHva(0)};
     switch (design) {
       case Design::Vanilla:
         nested_ = std::make_unique<NestedWalker>(
@@ -547,9 +546,8 @@ NestedTestbed::attachPvDmt()
 TranslationMechanism &
 NestedTestbed::build(Design design)
 {
-    const auto l2paToL1va = [this](Addr l2pa) {
-        return stack_->l2paToL1va(l2pa);
-    };
+    // l2paToL1va(0) is the stack's constant L2PA->L1VA base offset.
+    const NestedWalker::GpaToHostVa l2paToL1va{stack_->l2paToL1va(0)};
     switch (design) {
       case Design::Vanilla:
         shadow_ = stack_->makeL2ShadowPager(l0Mem_, l0Alloc_);

@@ -8,6 +8,26 @@
 namespace dmt
 {
 
+namespace
+{
+
+/** Index into per-size residency counters. */
+constexpr std::size_t
+sizeSlot(PageSize size)
+{
+    switch (size) {
+      case PageSize::Size4K:
+        return 0;
+      case PageSize::Size2M:
+        return 1;
+      case PageSize::Size1G:
+        return 2;
+    }
+    return 0;  // unreachable
+}
+
+} // namespace
+
 Tlb::Tlb(const TlbConfig &config) : config_(config)
 {
     DMT_ASSERT(config.entries > 0 && config.associativity > 0,
@@ -44,6 +64,8 @@ Tlb::lookup(Addr va)
     ++tick_;
     for (PageSize size :
          {PageSize::Size4K, PageSize::Size2M, PageSize::Size1G}) {
+        if (sizeCount_[sizeSlot(size)] == 0)
+            continue;  // no entries at this size anywhere
         const Vpn vpn = va >> pageShiftOf(size);
         const std::size_t set = setIndex(vpn);
         const int way = findIn(set, vpn, size);
@@ -55,6 +77,20 @@ Tlb::lookup(Addr va)
         }
     }
     ++misses_;
+    return std::nullopt;
+}
+
+std::optional<PageSize>
+Tlb::probe(Addr va) const
+{
+    for (PageSize size :
+         {PageSize::Size4K, PageSize::Size2M, PageSize::Size1G}) {
+        if (sizeCount_[sizeSlot(size)] == 0)
+            continue;
+        const Vpn vpn = va >> pageShiftOf(size);
+        if (findIn(setIndex(vpn), vpn, size) >= 0)
+            return size;
+    }
     return std::nullopt;
 }
 
@@ -79,6 +115,9 @@ Tlb::insert(Addr va, PageSize size)
         if (e.lastUse < victim->lastUse)
             victim = &e;
     }
+    if (victim->valid)
+        --sizeCount_[sizeSlot(victim->size)];
+    ++sizeCount_[sizeSlot(size)];
     victim->valid = true;
     victim->vpn = vpn;
     victim->size = size;
@@ -90,11 +129,15 @@ Tlb::invalidate(Addr va)
 {
     for (PageSize size :
          {PageSize::Size4K, PageSize::Size2M, PageSize::Size1G}) {
+        if (sizeCount_[sizeSlot(size)] == 0)
+            continue;
         const Vpn vpn = va >> pageShiftOf(size);
         const std::size_t set = setIndex(vpn);
         const int way = findIn(set, vpn, size);
-        if (way >= 0)
+        if (way >= 0) {
             entries_[set * config_.associativity + way].valid = false;
+            --sizeCount_[sizeSlot(size)];
+        }
     }
 }
 
@@ -103,11 +146,26 @@ Tlb::flush()
 {
     for (auto &e : entries_)
         e.valid = false;
+    sizeCount_.fill(0);
 }
 
 void
 Tlb::audit(AuditSink &sink, const TranslateOracle &oracle) const
 {
+    // Per-size residency counts must match the actual entries: a
+    // stale count would make lookup()/probe() skip a resident size.
+    std::array<std::uint32_t, 3> actual{};
+    for (const Entry &e : entries_) {
+        if (e.valid)
+            ++actual[sizeSlot(e.size)];
+    }
+    for (std::size_t s = 0; s < actual.size(); ++s) {
+        DMT_AUDIT_CHECK(sink, actual[s] == sizeCount_[s],
+                        "%s: size-residency count %zu is %u but %u "
+                        "entries are resident",
+                        config_.name.c_str(), s, sizeCount_[s],
+                        actual[s]);
+    }
     for (std::size_t i = 0; i < entries_.size(); ++i) {
         const Entry &e = entries_[i];
         if (!e.valid)
@@ -140,10 +198,18 @@ Tlb::audit(AuditSink &sink, const TranslateOracle &oracle) const
                             static_cast<unsigned long long>(e.vpn),
                             set);
         }
-        if (!oracle)
-            continue;
+        // Every resident entry must be findable by a read-only
+        // probe; probe() (not lookup()) keeps the sweep from
+        // perturbing LRU state or hit/miss counters.
         const Addr va = static_cast<Addr>(e.vpn)
                         << pageShiftOf(e.size);
+        DMT_AUDIT_CHECK(sink, probe(va).has_value(),
+                        "%s: resident entry for va 0x%llx is not "
+                        "findable by probe()",
+                        config_.name.c_str(),
+                        static_cast<unsigned long long>(va));
+        if (!oracle)
+            continue;
         const auto truth = oracle(va);
         if (!truth) {
             sink.fail("%s: stale entry translates unmapped va 0x%llx",

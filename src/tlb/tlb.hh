@@ -5,12 +5,16 @@
  * Entries tag the virtual page number at the entry's own page size, so
  * a single 2 MB entry covers 512 4 KB pages — the reach effect that
  * makes THP matter in the paper's evaluation. Lookups probe all
- * supported page sizes (as hardware does for a unified TLB).
+ * supported page sizes (as hardware does for a unified TLB), but a
+ * per-size residency count lets them skip set scans for sizes that
+ * have no entries at all — a 4 KB-only run never pays for the 2 MB
+ * and 1 GB probes.
  */
 
 #ifndef DMT_TLB_TLB_HH
 #define DMT_TLB_TLB_HH
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -46,6 +50,13 @@ class Tlb
      */
     std::optional<PageSize> lookup(Addr va);
 
+    /**
+     * Read-only probe: like lookup() but with no LRU promotion and
+     * no hit/miss counter update. This is what audit sweeps use so
+     * an instrumented run does not perturb replacement state.
+     */
+    std::optional<PageSize> probe(Addr va) const;
+
     /** Install a translation for the page of `size` containing va. */
     void insert(Addr va, PageSize size);
 
@@ -75,9 +86,13 @@ class Tlb
      * Audit-layer entry point: report every entry whose VPN indexes
      * to a different set than it occupies, every duplicate
      * (vpn, size) pair within a set, every LRU stamp ahead of the
-     * TLB's clock, and — when an oracle is supplied — every entry
+     * TLB's clock, every per-size residency count that disagrees
+     * with the actual entries (a stale count would make lookup skip
+     * a size that is resident), every entry a read-only probe()
+     * cannot find, and — when an oracle is supplied — every entry
      * translating a page the oracle says is no longer mapped (or is
-     * mapped at a different size).
+     * mapped at a different size). Uses probe(), never lookup(), so
+     * sweeps do not perturb replacement state.
      */
     void audit(AuditSink &sink, const TranslateOracle &oracle) const;
 
@@ -99,6 +114,12 @@ class Tlb
     TlbConfig config_;
     std::size_t numSets_;
     std::vector<Entry> entries_;
+    /**
+     * Valid entries per page size. lookup()/probe()/invalidate()
+     * skip the set scan for any size with zero residents, so a
+     * 4 KB-only workload pays for exactly one probe per access.
+     */
+    std::array<std::uint32_t, 3> sizeCount_{};
     std::uint64_t tick_ = 0;
     Counter hits_ = 0;
     Counter misses_ = 0;

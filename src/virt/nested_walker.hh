@@ -17,7 +17,6 @@
 #ifndef DMT_VIRT_NESTED_WALKER_HH
 #define DMT_VIRT_NESTED_WALKER_HH
 
-#include <functional>
 #include <string>
 
 #include "mem/memory_hierarchy.hh"
@@ -34,8 +33,22 @@ class InvariantAuditor;
 class NestedWalker : public TranslationMechanism
 {
   public:
-    /** Maps a guest-physical address into the host table's VA space. */
-    using GpaToHostVa = std::function<Addr(Addr)>;
+    /**
+     * Maps a guest-physical address into the host table's VA space.
+     *
+     * Every VM maps guest-physical space at a constant host-VA
+     * offset (VirtualMachine::gpaToHva is `gpaBaseHva + gpa`), so
+     * this is a plain offset struct rather than a std::function —
+     * the 2-D walker calls it up to 20 times per walk and must not
+     * pay type erasure or a possible heap allocation for a capture.
+     * An offset of zero is the identity mapping shadow paging uses.
+     */
+    struct GpaToHostVa
+    {
+        Addr baseHva = 0;
+
+        Addr operator()(Addr gpa) const { return baseHva + gpa; }
+    };
 
     /**
      * @param guest_pt guest page table (gVA -> gPA, entries at gPAs)

@@ -45,6 +45,62 @@ TEST(PhysicalMemory, SparseStorageOnlyKeepsNonzero)
     EXPECT_EQ(mem.wordsInUse(), 1u);
 }
 
+TEST(PhysicalMemory, WritingZeroToFreshWordDoesNotInflateCount)
+{
+    PhysicalMemory mem(1 << 30);
+    EXPECT_EQ(mem.wordsInUse(), 0u);
+    // A zero store to a never-written word is indistinguishable from
+    // not storing at all: no frame materialises, no word counts.
+    mem.write64(0x2000, 0);
+    EXPECT_EQ(mem.wordsInUse(), 0u);
+    EXPECT_EQ(mem.framesInUse(), 0u);
+    // Same within an already materialised frame.
+    mem.write64(0x2008, 5);
+    mem.write64(0x2010, 0);
+    EXPECT_EQ(mem.wordsInUse(), 1u);
+    EXPECT_EQ(mem.framesInUse(), 1u);
+}
+
+TEST(PhysicalMemory, FramesMaterialiseOnDemandAndDropWhenZeroed)
+{
+    PhysicalMemory mem(1 << 30);
+    // Two words in one 4 KB frame, one in another.
+    mem.write64(0x4000, 1);
+    mem.write64(0x4ff8, 2);
+    mem.write64(0x8000, 3);
+    EXPECT_EQ(mem.framesInUse(), 2u);
+    EXPECT_EQ(mem.wordsInUse(), 3u);
+    // Partial zeroRange clears words but keeps the frame.
+    mem.zeroRange(0x4000, 8);
+    EXPECT_EQ(mem.read64(0x4000), 0u);
+    EXPECT_EQ(mem.framesInUse(), 2u);
+    EXPECT_EQ(mem.wordsInUse(), 2u);
+    // Whole-frame zeroRange drops the frame entirely.
+    mem.zeroRange(0x4000, 0x1000);
+    EXPECT_EQ(mem.framesInUse(), 1u);
+    EXPECT_EQ(mem.wordsInUse(), 1u);
+    EXPECT_EQ(mem.read64(0x4ff8), 0u);
+    EXPECT_EQ(mem.read64(0x8000), 3u);
+}
+
+TEST(PhysicalMemory, CopyRangeTracksNonzeroAcrossFrames)
+{
+    PhysicalMemory mem(1 << 30);
+    // Source straddles a frame boundary at 0x5000.
+    mem.write64(0x4ff8, 7);
+    mem.write64(0x5000, 8);
+    mem.copyRange(0x10ff8, 0x4ff8, 16);
+    EXPECT_EQ(mem.read64(0x10ff8), 7u);
+    EXPECT_EQ(mem.read64(0x11000), 8u);
+    EXPECT_EQ(mem.wordsInUse(), 4u);
+    // Copying zeros over the destination un-counts its words; the
+    // never-materialised source frame behaves as a zero source.
+    mem.copyRange(0x10ff8, 0x20ff8, 16);
+    EXPECT_EQ(mem.read64(0x10ff8), 0u);
+    EXPECT_EQ(mem.read64(0x11000), 0u);
+    EXPECT_EQ(mem.wordsInUse(), 2u);
+}
+
 TEST(Cache, HitAfterInsertMissBefore)
 {
     Cache cache({"t", 4096, 4, 64, 10});

@@ -260,7 +260,7 @@ TEST(NestedHuge, HostHugePagesShortenTheHostDimension)
     pwc.entriesForL1Table = 1;
     NestedWalker walker(
         vm.guestSpace().pageTable(), vm.containerSpace().pageTable(),
-        [&](Addr gpa) { return vm.gpaToHva(gpa); }, caches, pwc);
+        NestedWalker::GpaToHostVa{vm.gpaToHva(0)}, caches, pwc);
     walker.flush();
     const WalkRecord rec = walker.walk(0x10000000);
     // Host walks terminate at hL2 (huge leaf): at most 3 host refs

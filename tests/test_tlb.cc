@@ -56,6 +56,40 @@ TEST(Tlb, InvalidateAndFlush)
     EXPECT_FALSE(tlb.lookup(0x2000).has_value());
 }
 
+TEST(Tlb, ProbeFindsEntriesWithoutPerturbingState)
+{
+    Tlb tlb({"t", 8, 2});  // 4 sets x 2 ways
+    tlb.insert(Addr{0} << 12, PageSize::Size4K);
+    tlb.insert(Addr{4} << 12, PageSize::Size4K);
+    const Counter hits = tlb.hits();
+    const Counter misses = tlb.misses();
+    // probe() sees residents and misses absentees...
+    EXPECT_EQ(tlb.probe(Addr{0} << 12), PageSize::Size4K);
+    EXPECT_EQ(tlb.probe(Addr{4} << 12), PageSize::Size4K);
+    EXPECT_FALSE(tlb.probe(Addr{8} << 12).has_value());
+    // ...without bumping any counter...
+    EXPECT_EQ(tlb.hits(), hits);
+    EXPECT_EQ(tlb.misses(), misses);
+    // ...and without promoting to MRU: vpn 0 is still the LRU way,
+    // so the next insert into the full set evicts it, not vpn 4.
+    // (A lookup in probe's place would have made vpn 4 the victim.)
+    tlb.probe(Addr{0} << 12);
+    tlb.insert(Addr{8} << 12, PageSize::Size4K);
+    EXPECT_FALSE(tlb.lookup(Addr{0} << 12).has_value());
+    EXPECT_TRUE(tlb.lookup(Addr{4} << 12).has_value());
+}
+
+TEST(Tlb, ProbeSeesAllPageSizes)
+{
+    Tlb tlb({"t", 64, 4});
+    tlb.insert(0x40000000, PageSize::Size2M);
+    tlb.insert(Addr{2} << 30, PageSize::Size1G);
+    EXPECT_EQ(tlb.probe(0x401fffff), PageSize::Size2M);
+    EXPECT_EQ(tlb.probe((Addr{2} << 30) + 0x123456),
+              PageSize::Size1G);
+    EXPECT_FALSE(tlb.probe(0x1000).has_value());
+}
+
 TEST(TlbHierarchy, StlbHitRefillsL1)
 {
     TlbHierarchy tlbs;

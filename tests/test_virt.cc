@@ -78,7 +78,7 @@ TEST_F(VirtFixture, NestedWalkerTakesUpTo24Refs)
     pwc.entriesForL1Table = 1;
     NestedWalker walker(
         guest.pageTable(), vm->containerSpace().pageTable(),
-        [&](Addr gpa) { return vm->gpaToHva(gpa); }, caches, pwc);
+        NestedWalker::GpaToHostVa{vm->gpaToHva(0)}, caches, pwc);
     walker.flush();
     // A cold walk takes many references (up to 24); the nested PWC
     // fills mid-walk, so adjacent guest-table pages shorten later
@@ -103,7 +103,7 @@ TEST_F(VirtFixture, NestedWalkerSlotBreakdownCoversFigure2)
     pwc.entriesForL1Table = 1;
     NestedWalker walker(
         guest.pageTable(), vm->containerSpace().pageTable(),
-        [&](Addr gpa) { return vm->gpaToHva(gpa); }, caches, pwc);
+        NestedWalker::GpaToHostVa{vm->gpaToHva(0)}, caches, pwc);
     walker.recordSteps(true);
     walker.flush();
     const WalkRecord rec = walker.walk(0x10000000);
