@@ -8,7 +8,7 @@
  *                [--workloads A,B,...] [--envs native,virt,nested]
  *                [--designs vanilla,dmt,...] [--thp]
  *                [--scale N] [--accesses N] [--warmup N] [--seed N]
- *                [--list] [--quiet]
+ *                [--events-dir DIR] [--list] [--quiet]
  *
  * Every cell runs on its own shared-nothing testbed with an RNG seed
  * derived from (base seed, cell identity), so the merged JSON is
@@ -21,6 +21,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <chrono>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -29,6 +30,8 @@
 
 #include "common/log.hh"
 #include "driver/campaign.hh"
+#include "obs/event_log.hh"
+#include "obs/export.hh"
 
 using namespace dmt;
 using namespace dmt::driver;
@@ -55,7 +58,7 @@ usage(const char *argv0)
         "          [--designs vanilla,shadow,fpt,ecpt,agile,asap,"
         "dmt,pvdmt]\n"
         "          [--thp] [--scale N] [--accesses N] [--warmup N]\n"
-        "          [--seed N] [--list] [--quiet]\n",
+        "          [--seed N] [--events-dir DIR] [--list] [--quiet]\n",
         argv0);
     std::exit(2);
 }
@@ -112,6 +115,8 @@ parse(int argc, char **argv)
         else if (arg == "--seed")
             opt.campaign.baseSeed =
                 std::strtoull(value().c_str(), nullptr, 10);
+        else if (arg == "--events-dir")
+            opt.campaign.eventsDir = value();
         else if (arg == "--list") opt.list = true;
         else if (arg == "--quiet") opt.quiet = true;
         else usage(argv[0]);
@@ -157,6 +162,16 @@ main(int argc, char **argv)
                         opt.campaign.sim.measureAccesses));
     }
 
+    if (!opt.campaign.eventsDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(opt.campaign.eventsDir,
+                                            ec);
+        if (ec)
+            fatal("cannot create events dir '%s': %s",
+                  opt.campaign.eventsDir.c_str(),
+                  ec.message().c_str());
+    }
+
     const auto start = std::chrono::steady_clock::now();
     auto progress = [&](const CellResult &res, std::size_t done,
                         std::size_t total) {
@@ -184,6 +199,29 @@ main(int argc, char **argv)
         emitCampaignJson(os, opt.campaign, results);
         if (!os.good())
             fatal("error writing '%s'", opt.out.c_str());
+    }
+    if (!opt.campaign.eventsDir.empty()) {
+        // One digest per cell file: the cross-thread determinism
+        // witness (indexes from --threads 1 and --threads 4 runs must
+        // be byte-identical).
+        std::vector<obs::EventsIndexEntry> entries;
+        for (const auto &res : results) {
+            const std::string file = cellEventsFileName(res.spec);
+            entries.push_back({file,
+                               obs::fileDigest(opt.campaign.eventsDir +
+                                               "/" + file)});
+        }
+        const std::string indexPath =
+            opt.campaign.eventsDir + "/events_index.json";
+        std::ofstream os(indexPath, std::ios::binary);
+        if (!os)
+            fatal("cannot open '%s' for writing", indexPath.c_str());
+        obs::writeEventsIndexJson(os, entries);
+        if (!os.good())
+            fatal("error writing '%s'", indexPath.c_str());
+        if (!opt.quiet)
+            std::printf("wrote %zu event logs + %s\n", entries.size(),
+                        indexPath.c_str());
     }
     if (!opt.timingJson.empty()) {
         std::ofstream os(opt.timingJson, std::ios::binary);

@@ -30,6 +30,8 @@
 
 #include "check/invariant_auditor.hh"
 #include "common/log.hh"
+#include "obs/event_log.hh"
+#include "obs/replay.hh"
 #include "sim/exec_model.hh"
 #include "sim/testbed.hh"
 #include "sim/translation_sim.hh"
@@ -54,6 +56,7 @@ struct Options
     std::string recordTrace;
     std::string traceFile;
     std::string jsonOut;
+    std::string eventsOut;
     bool audit = false;
     std::uint64_t auditInterval = 0;  //!< 0 = final sweep only
 };
@@ -68,8 +71,8 @@ usage(const char *argv0)
         "pvdmt]\n"
         "          [--env native|virt|nested] [--thp] [--scale N]\n"
         "          [--accesses N] [--warmup N] [--seed N]\n"
-        "          [--audit[=N]] [--json FILE] [--record-trace FILE] "
-        "[--trace FILE]\n",
+        "          [--audit[=N]] [--json FILE] [--events FILE]\n"
+        "          [--record-trace FILE] [--trace FILE]\n",
         argv0);
     std::exit(2);
 }
@@ -98,6 +101,9 @@ parse(int argc, char **argv)
         else if (arg == "--seed")
             opt.seed = std::strtoull(value().c_str(), nullptr, 10);
         else if (arg == "--json") opt.jsonOut = value();
+        else if (arg == "--events") opt.eventsOut = value();
+        else if (arg.rfind("--events=", 0) == 0)
+            opt.eventsOut = arg.substr(std::strlen("--events="));
         else if (arg == "--record-trace") opt.recordTrace = value();
         else if (arg == "--trace") opt.traceFile = value();
         else if (arg == "--audit") opt.audit = true;
@@ -204,7 +210,33 @@ main(int argc, char **argv)
         if (opt.audit)
             tb.attachAuditor(auditor);
         TranslationSimulator sim(mech, tb.tlbs(), tb.caches());
-        SimResult r = sim.run(*trace, simCfg);
+        SimResult r;
+        if (opt.eventsOut.empty()) {
+            r = sim.run(*trace, simCfg);
+        } else {
+            // Capture every access to a .dmtevents file, embedding
+            // the run's translation counters (diffed around the run
+            // so pre-run state can't skew them) in the footer — the
+            // file verifies itself via tools/events_check.
+            obs::FileEventSink sink(opt.eventsOut);
+            StatGroup before("before");
+            tb.translationStats(before);
+            sim.setEventSink(&sink);
+            r = sim.run(*trace, simCfg);
+            sim.setEventSink(nullptr);
+            StatGroup after("after");
+            tb.translationStats(after);
+            obs::CounterMap counters = obs::diffCounters(
+                obs::counterMapFromStats(before),
+                obs::counterMapFromStats(after));
+            obs::addSimResultCounters(counters, r);
+            sink.setCounters(counters);
+            sink.finish();
+            std::printf("wrote %llu events to %s\n",
+                        static_cast<unsigned long long>(
+                            sink.eventCount()),
+                        opt.eventsOut.c_str());
+        }
         if (opt.audit) {
             auditor.sweep();
             // Teardown transients (freed VMAs, stale TLB entries)

@@ -20,14 +20,30 @@ Histogram::sample(double v)
     ++count_;
     sum_ += v;
     if (v < 0.0) {
-        ++overflow_;
+        recordOverflow(v);
         return;
     }
     const auto idx = static_cast<std::size_t>(v / bucketWidth_);
     if (idx >= buckets_.size()) {
-        ++overflow_;
+        recordOverflow(v);
     } else {
         ++buckets_[idx];
+    }
+}
+
+void
+Histogram::recordOverflow(double v)
+{
+    ++overflow_;
+    // One warning per histogram lifetime: out-of-range samples are
+    // counted, not lost, but a silent stream of them usually means
+    // the bucket geometry no longer fits the data.
+    if (!warnedOverflow_) {
+        warnedOverflow_ = true;
+        warn("histogram sample %g outside [0, %g); counting in "
+             "overflow (further overflows are silent)",
+             v,
+             bucketWidth_ * static_cast<double>(buckets_.size()));
     }
 }
 
@@ -62,6 +78,7 @@ Histogram::reset()
     overflow_ = 0;
     count_ = 0;
     sum_ = 0.0;
+    warnedOverflow_ = false;
 }
 
 ScalarStat &

@@ -99,7 +99,11 @@ class Histogram
      */
     Histogram(std::size_t n_buckets, double bucket_width);
 
-    /** Record one sample; values beyond the range land in overflow. */
+    /**
+     * Record one sample. Values beyond the range (including negative
+     * ones) are counted in overflow() — never dropped — and the first
+     * such sample logs a single warn() for the histogram's lifetime.
+     */
     void sample(double v);
 
     /** @return the count in bucket i. */
@@ -115,15 +119,18 @@ class Histogram
     std::size_t numBuckets() const { return buckets_.size(); }
     double bucketWidth() const { return bucketWidth_; }
 
-    /** Reset all buckets. */
+    /** Reset all buckets (and re-arm the one-shot overflow warn). */
     void reset();
 
   private:
+    void recordOverflow(double v);
+
     std::vector<Counter> buckets_;
     double bucketWidth_;
     Counter overflow_ = 0;
     Counter count_ = 0;
     double sum_ = 0.0;
+    bool warnedOverflow_ = false;
 };
 
 /**

@@ -105,20 +105,25 @@ DmtNativeFetcher::walk(Addr va)
         ++fetcherStats_.fallbacks;
         WalkRecord rec = fallback_.walk(va);
         rec.fellBack = true;
+        rec.path = TranslationPath::DmtFallback;
         // Probes issued before falling back still took time.
         rec.latency += probe.latency;
         rec.parallelRefs += probe.probes;
+        rec.dmtProbes += static_cast<std::uint8_t>(probe.probes);
         return rec;
     }
     ++fetcherStats_.direct;
     WalkRecord rec;
+    rec.path = TranslationPath::DmtDirect;
     rec.latency = probe.latency;
     rec.seqRefs = 1;
     rec.parallelRefs = probe.probes - 1;
+    rec.dmtProbes = static_cast<std::uint8_t>(probe.probes);
     rec.size = probe.size;
     rec.pa = leafPa(probe.pte, probe.size, va);
     if (recordSteps_)
-        rec.steps.push_back({'d', 1, probe.latency});
+        rec.steps.push_back({'d', 1, probe.latency, -1,
+                             probe.pteAddr});
     return rec;
 }
 
@@ -149,6 +154,7 @@ DmtVirtFetcher::hostFetch(Addr gpa, WalkRecord &rec, Addr &hpa_out)
     const Addr hva = vm_.gpaToHva(gpa);
     const DirectProbe probe =
         directProbe(hostRegs_, hostMem_, caches_, hva, nullptr);
+    rec.dmtProbes += static_cast<std::uint8_t>(probe.probes);
     if (!probe.matched || !probe.present)
         return false;
     rec.latency += probe.latency;
@@ -158,7 +164,8 @@ DmtVirtFetcher::hostFetch(Addr gpa, WalkRecord &rec, Addr &hpa_out)
         const int hlevel = RadixPageTable::leafLevel(probe.size);
         rec.steps.push_back(
             {'h', static_cast<std::int8_t>(hlevel), probe.latency,
-             static_cast<std::int8_t>(21 + (4 - hlevel))});
+             static_cast<std::int8_t>(21 + (4 - hlevel)),
+             probe.pteAddr});
     }
     hpa_out = leafPa(probe.pte, probe.size, hva);
     return true;
@@ -171,8 +178,11 @@ DmtVirtFetcher::walkTwoRef(Addr gva, WalkRecord &rec)
     // address through the gTEA table.
     const DirectProbe probe =
         directProbe(guestRegs_, hostMem_, caches_, gva, gteaTable_);
-    if (probe.faulted)
+    rec.dmtProbes += static_cast<std::uint8_t>(probe.probes);
+    if (probe.faulted) {
         ++fetcherStats_.isolationFaults;
+        ++rec.dmtFaults;
+    }
     if (!probe.matched || !probe.present)
         return false;
     rec.latency += probe.latency;
@@ -182,7 +192,8 @@ DmtVirtFetcher::walkTwoRef(Addr gva, WalkRecord &rec)
         const int glevel = RadixPageTable::leafLevel(probe.size);
         rec.steps.push_back(
             {'g', static_cast<std::int8_t>(glevel), probe.latency,
-             static_cast<std::int8_t>(5 * (4 - glevel) + 5)});
+             static_cast<std::int8_t>(5 * (4 - glevel) + 5),
+             probe.pteAddr});
     }
     const Addr dataGpa = leafPa(probe.pte, probe.size, gva);
     rec.size = probe.size;
@@ -213,6 +224,7 @@ DmtVirtFetcher::walkThreeRef(Addr gva, WalkRecord &rec)
     std::uint64_t leafPte = 0;
     PageSize leafSize = PageSize::Size4K;
     Cycles ref1Cost = 0, ref2Cost = 0;
+    Addr ref1Pa = 0, ref2Pa = 0;
     for (int s = 0; s < 3; ++s) {
         const DmtRegister *reg = matches[s];
         if (!reg)
@@ -223,6 +235,7 @@ DmtVirtFetcher::walkThreeRef(Addr gva, WalkRecord &rec)
         const Addr hva = vm_.gpaToHva(gPteGpa);
         const DirectProbe hprobe =
             directProbe(hostRegs_, hostMem_, caches_, hva, nullptr);
+        rec.dmtProbes += static_cast<std::uint8_t>(hprobe.probes);
         if (!hprobe.matched || !hprobe.present)
             return false;
         const Addr gPteHpa = leafPa(hprobe.pte, hprobe.size, hva);
@@ -241,6 +254,8 @@ DmtVirtFetcher::walkThreeRef(Addr gva, WalkRecord &rec)
         leafSize = reg->tea.leafSize;
         ref1Cost = hprobe.latency;
         ref2Cost = c2;
+        ref1Pa = hprobe.pteAddr;
+        ref2Pa = gPteHpa;
     }
     if (!found)
         return false;
@@ -248,11 +263,11 @@ DmtVirtFetcher::walkThreeRef(Addr gva, WalkRecord &rec)
     rec.seqRefs += 2;
     rec.parallelRefs += 2 * (chains - 1);
     if (recordSteps_) {
-        rec.steps.push_back({'h', 1, ref1Cost});
+        rec.steps.push_back({'h', 1, ref1Cost, -1, ref1Pa});
         rec.steps.push_back(
             {'g', static_cast<std::int8_t>(
                       RadixPageTable::leafLevel(leafSize)),
-             ref2Cost});
+             ref2Cost, -1, ref2Pa});
     }
     const Addr dataGpa = leafPa(leafPte, leafSize, gva);
     rec.size = leafSize;
@@ -270,16 +285,22 @@ DmtVirtFetcher::walk(Addr gva)
 {
     ++fetcherStats_.requests;
     WalkRecord rec;
+    rec.gteaPath = gteaTable_ != nullptr;
     const bool ok = gteaTable_ ? walkTwoRef(gva, rec)
                                : walkThreeRef(gva, rec);
     if (!ok) {
         ++fetcherStats_.fallbacks;
         WalkRecord fb = fallback_.walk(gva);
         fb.fellBack = true;
+        fb.path = TranslationPath::DmtFallback;
         fb.latency += rec.latency;
+        fb.gteaPath = rec.gteaPath;
+        fb.dmtProbes += rec.dmtProbes;
+        fb.dmtFaults += rec.dmtFaults;
         return fb;
     }
     ++fetcherStats_.direct;
+    rec.path = TranslationPath::DmtDirect;
     return rec;
 }
 
@@ -316,15 +337,18 @@ DmtNestedFetcher::walk(Addr l2va)
         // Reference 1: L2 leaf PTE, L0-resident via the L2 gTEAs.
         const DirectProbe p2 = directProbe(l2Regs_, l0Mem_, caches_,
                                            l2va, &l2Gtable_);
-        if (p2.faulted)
+        rec.dmtProbes += static_cast<std::uint8_t>(p2.probes);
+        if (p2.faulted) {
             ++fetcherStats_.isolationFaults;
+            ++rec.dmtFaults;
+        }
         if (!p2.matched || !p2.present)
             break;
         rec.latency += p2.latency;
         ++rec.seqRefs;
         rec.parallelRefs += p2.probes - 1;
         if (recordSteps_)
-            rec.steps.push_back({'g', 2, p2.latency});
+            rec.steps.push_back({'g', 2, p2.latency, -1, p2.pteAddr});
         const Addr dataL2pa = leafPa(p2.pte, p2.size, l2va);
         rec.size = p2.size;
 
@@ -333,28 +357,32 @@ DmtNestedFetcher::walk(Addr l2va)
         const Addr l1va = stack_.l2paToL1va(dataL2pa);
         const DirectProbe p1 = directProbe(l1Regs_, l0Mem_, caches_,
                                            l1va, &l1Gtable_);
-        if (p1.faulted)
+        rec.dmtProbes += static_cast<std::uint8_t>(p1.probes);
+        if (p1.faulted) {
             ++fetcherStats_.isolationFaults;
+            ++rec.dmtFaults;
+        }
         if (!p1.matched || !p1.present)
             break;
         rec.latency += p1.latency;
         ++rec.seqRefs;
         rec.parallelRefs += p1.probes - 1;
         if (recordSteps_)
-            rec.steps.push_back({'g', 1, p1.latency});
+            rec.steps.push_back({'g', 1, p1.latency, -1, p1.pteAddr});
         const Addr dataL1pa = leafPa(p1.pte, p1.size, l1va);
 
         // Reference 3: L0 container leaf PTE (local TEAs).
         const Addr hva = stack_.vm1().gpaToHva(dataL1pa);
         const DirectProbe p0 = directProbe(l0Regs_, l0Mem_, caches_,
                                            hva, nullptr);
+        rec.dmtProbes += static_cast<std::uint8_t>(p0.probes);
         if (!p0.matched || !p0.present)
             break;
         rec.latency += p0.latency;
         ++rec.seqRefs;
         rec.parallelRefs += p0.probes - 1;
         if (recordSteps_)
-            rec.steps.push_back({'h', 1, p0.latency});
+            rec.steps.push_back({'h', 1, p0.latency, -1, p0.pteAddr});
         rec.pa = leafPa(p0.pte, p0.size, hva);
         ok = true;
     } while (false);
@@ -363,10 +391,16 @@ DmtNestedFetcher::walk(Addr l2va)
         ++fetcherStats_.fallbacks;
         WalkRecord fb = fallback_.walk(l2va);
         fb.fellBack = true;
+        fb.path = TranslationPath::DmtFallback;
         fb.latency += rec.latency;
+        fb.gteaPath = true;
+        fb.dmtProbes += rec.dmtProbes;
+        fb.dmtFaults += rec.dmtFaults;
         return fb;
     }
     ++fetcherStats_.direct;
+    rec.path = TranslationPath::DmtDirect;
+    rec.gteaPath = true;
     return rec;
 }
 

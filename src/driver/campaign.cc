@@ -10,6 +10,8 @@
 #include "common/log.hh"
 #include "common/stats.hh"
 #include "driver/json.hh"
+#include "obs/event_log.hh"
+#include "obs/replay.hh"
 
 namespace dmt
 {
@@ -131,12 +133,38 @@ cellSeed(std::uint64_t base_seed, const CellSpec &spec)
 CellOutcome
 runCell(Workload &workload, CampaignEnv env, Design design,
         const TestbedConfig &tb_config, const SimConfig &sim_config,
-        std::uint64_t seed, bool record_steps)
+        std::uint64_t seed, bool record_steps,
+        const std::string &events_path)
 {
     const auto start = std::chrono::steady_clock::now();
     SimConfig cfg = sim_config;
     cfg.recordSteps = record_steps;
     CellOutcome out;
+    // Run the simulation, optionally capturing events. The footer
+    // counters are the run's own deltas (stats after minus before),
+    // so anything a testbed did before the run cannot skew the
+    // self-verification contract.
+    auto runSim = [&](auto &tb, TranslationMechanism &mech,
+                      TraceSource &trace) -> SimResult {
+        TranslationSimulator sim(mech, tb.tlbs(), tb.caches());
+        if (events_path.empty())
+            return sim.run(trace, cfg);
+        obs::FileEventSink sink(events_path);
+        StatGroup before("before");
+        tb.translationStats(before);
+        sim.setEventSink(&sink);
+        const SimResult res = sim.run(trace, cfg);
+        sim.setEventSink(nullptr);
+        StatGroup after("after");
+        tb.translationStats(after);
+        obs::CounterMap counters = obs::diffCounters(
+            obs::counterMapFromStats(before),
+            obs::counterMapFromStats(after));
+        obs::addSimResultCounters(counters, res);
+        sink.setCounters(counters);
+        sink.finish();
+        return res;
+    };
     switch (env) {
       case CampaignEnv::Native: {
         NativeTestbed tb(workload.footprintBytes(), tb_config);
@@ -145,8 +173,7 @@ runCell(Workload &workload, CampaignEnv env, Design design,
         workload.setup(tb.proc());
         auto &mech = tb.build(design);
         auto trace = workload.trace(seed);
-        TranslationSimulator sim(mech, tb.tlbs(), tb.caches());
-        out.sim = sim.run(*trace, cfg);
+        out.sim = runSim(tb, mech, *trace);
         out.design = mech.name();
         if (tb.dmtFetcher())
             out.coverage = tb.dmtFetcher()->stats().coverage();
@@ -159,8 +186,7 @@ runCell(Workload &workload, CampaignEnv env, Design design,
         workload.setup(tb.proc());
         auto &mech = tb.build(design);
         auto trace = workload.trace(seed);
-        TranslationSimulator sim(mech, tb.tlbs(), tb.caches());
-        out.sim = sim.run(*trace, cfg);
+        out.sim = runSim(tb, mech, *trace);
         out.design = mech.name();
         if (tb.dmtFetcher())
             out.coverage = tb.dmtFetcher()->stats().coverage();
@@ -179,8 +205,7 @@ runCell(Workload &workload, CampaignEnv env, Design design,
         workload.setup(tb.proc());
         auto &mech = tb.build(design);
         auto trace = workload.trace(seed);
-        TranslationSimulator sim(mech, tb.tlbs(), tb.caches());
-        out.sim = sim.run(*trace, cfg);
+        out.sim = runSim(tb, mech, *trace);
         out.design = mech.name();
         if (tb.dmtFetcher())
             out.coverage = tb.dmtFetcher()->stats().coverage();
@@ -201,6 +226,14 @@ runCell(Workload &workload, CampaignEnv env, Design design,
             ? static_cast<double>(out.sim.accesses) / out.wallSeconds
             : 0.0;
     return out;
+}
+
+std::string
+cellEventsFileName(const CellSpec &spec)
+{
+    return envId(spec.env) + "_" + spec.workload + "_" +
+           designId(spec.design) + "_" + (spec.thp ? "thp" : "4k") +
+           ".dmtevents";
 }
 
 std::vector<CellSpec>
@@ -263,8 +296,14 @@ runCampaign(const CampaignConfig &config, unsigned threads,
             const TestbedConfig tb = scaledTestbedConfig(
                 config.scale,
                 spec.thp ? ThpMode::Always : ThpMode::Never);
+            const std::string eventsPath =
+                config.eventsDir.empty()
+                    ? std::string()
+                    : config.eventsDir + "/" +
+                          cellEventsFileName(spec);
             res.outcome = runCell(*wl, spec.env, spec.design, tb,
-                                  config.sim, res.seed);
+                                  config.sim, res.seed,
+                                  /*record_steps=*/false, eventsPath);
             const std::size_t finished = done.fetch_add(1) + 1;
             if (progress) {
                 const std::lock_guard<std::mutex> lock(progressMutex);

@@ -89,11 +89,22 @@ struct CellOutcome
  * Run one cell against an already-constructed workload. Builds a
  * fresh testbed for the cell's environment, lays out the workload,
  * and streams its trace through the translation simulator.
+ *
+ * If `events_path` is non-empty, a FileEventSink captures every
+ * simulated access to that .dmtevents file, with the cell's
+ * translation counters embedded in the footer (so the file is
+ * self-verifying via tools/events_check). Because cells are
+ * shared-nothing, the file depends only on the cell's identity and
+ * seed — byte-identical across thread counts.
  */
 CellOutcome runCell(Workload &workload, CampaignEnv env, Design design,
                     const TestbedConfig &tb_config,
                     const SimConfig &sim_config, std::uint64_t seed,
-                    bool record_steps = false);
+                    bool record_steps = false,
+                    const std::string &events_path = "");
+
+/** Canonical events file name for a cell within --events-dir. */
+std::string cellEventsFileName(const CellSpec &spec);
 
 /** Campaign-wide knobs. */
 struct CampaignConfig
@@ -114,6 +125,11 @@ struct CampaignConfig
     double scale = 1.0 / 16.0;
     std::uint64_t baseSeed = 42;
     SimConfig sim;
+    /**
+     * When non-empty, every cell writes its event stream to
+     * `<eventsDir>/<cellEventsFileName>`. The directory must exist.
+     */
+    std::string eventsDir;
 };
 
 /** A finished cell: spec + derived seed + measurements. */

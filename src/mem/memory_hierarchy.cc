@@ -31,6 +31,42 @@ MemoryHierarchy::attachAuditor(InvariantAuditor &auditor,
     });
 }
 
+namespace
+{
+
+/**
+ * Mirror one resolved access into the event tally: a hit at `level`
+ * implies exactly one miss at every level above it, matching the
+ * Cache counters bumped on the way down. Out of line so the tracing-
+ * off hot path pays only the single `if (tally_)` at the call site.
+ */
+__attribute__((noinline)) void
+tallyLevel(CacheTally &tally, HitLevel level)
+{
+    switch (level) {
+      case HitLevel::L1:
+        ++tally.l1dHits;
+        return;
+      case HitLevel::L2:
+        ++tally.l1dMisses;
+        ++tally.l2Hits;
+        return;
+      case HitLevel::LLC:
+        ++tally.l1dMisses;
+        ++tally.l2Misses;
+        ++tally.llcHits;
+        return;
+      case HitLevel::Memory:
+        ++tally.l1dMisses;
+        ++tally.l2Misses;
+        ++tally.llcMisses;
+        ++tally.memAccesses;
+        return;
+    }
+}
+
+} // namespace
+
 Cycles
 MemoryHierarchy::access(Addr pa)
 {
@@ -42,42 +78,56 @@ Cycles
 MemoryHierarchy::access(Addr pa, HitLevel &level)
 {
     ++accesses_;
+    Cycles cost;
     if (l1d_.access(pa)) {
         level = HitLevel::L1;
-        return config_.l1d.roundTrip;
-    }
-    if (l2_.access(pa)) {
+        cost = config_.l1d.roundTrip;
+    } else if (l2_.access(pa)) {
         l1d_.insert(pa);
         level = HitLevel::L2;
-        return config_.l2.roundTrip;
-    }
-    if (llc_.access(pa)) {
+        cost = config_.l2.roundTrip;
+    } else if (llc_.access(pa)) {
         l2_.insert(pa);
         l1d_.insert(pa);
         level = HitLevel::LLC;
-        return config_.llc.roundTrip;
+        cost = config_.llc.roundTrip;
+    } else {
+        ++memAccesses_;
+        llc_.insert(pa);
+        l2_.insert(pa);
+        l1d_.insert(pa);
+        level = HitLevel::Memory;
+        DMT_AUDIT_EVENT(auditor_);
+        cost = config_.memoryRoundTrip;
     }
-    ++memAccesses_;
-    llc_.insert(pa);
-    l2_.insert(pa);
-    l1d_.insert(pa);
-    level = HitLevel::Memory;
-    DMT_AUDIT_EVENT(auditor_);
-    return config_.memoryRoundTrip;
+    if (tally_) [[unlikely]]
+        tallyLevel(*tally_, level);
+    return cost;
 }
 
 Cycles
 MemoryHierarchy::accessClean(Addr pa)
 {
     ++accesses_;
-    if (l1d_.access(pa))
-        return config_.l1d.roundTrip;
-    if (l2_.access(pa))
-        return config_.l2.roundTrip;
-    if (llc_.access(pa))
-        return config_.llc.roundTrip;
-    ++memAccesses_;
-    return config_.memoryRoundTrip;
+    HitLevel level;
+    Cycles cost;
+    if (l1d_.access(pa)) {
+        level = HitLevel::L1;
+        cost = config_.l1d.roundTrip;
+    } else if (l2_.access(pa)) {
+        level = HitLevel::L2;
+        cost = config_.l2.roundTrip;
+    } else if (llc_.access(pa)) {
+        level = HitLevel::LLC;
+        cost = config_.llc.roundTrip;
+    } else {
+        ++memAccesses_;
+        level = HitLevel::Memory;
+        cost = config_.memoryRoundTrip;
+    }
+    if (tally_) [[unlikely]]
+        tallyLevel(*tally_, level);
+    return cost;
 }
 
 void
@@ -85,10 +135,16 @@ MemoryHierarchy::prefetch(Addr pa)
 {
     // Prefetches fill L2 and LLC but not L1, mirroring how hardware
     // PTE prefetchers (ASAP) avoid polluting the small L1.
-    if (!llc_.access(pa))
+    const bool llcHit = llc_.access(pa);
+    if (!llcHit)
         llc_.insert(pa);
-    if (!l2_.access(pa))
+    const bool l2Hit = l2_.access(pa);
+    if (!l2Hit)
         l2_.insert(pa);
+    if (tally_) [[unlikely]] {
+        ++(llcHit ? tally_->llcHits : tally_->llcMisses);
+        ++(l2Hit ? tally_->l2Hits : tally_->l2Misses);
+    }
     DMT_AUDIT_EVENT(auditor_);
 }
 

@@ -16,6 +16,8 @@
 #ifndef DMT_MEM_MEMORY_HIERARCHY_HH
 #define DMT_MEM_MEMORY_HIERARCHY_HH
 
+#include <cstdint>
+
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "mem/cache.hh"
@@ -41,6 +43,26 @@ enum class HitLevel
     L2,
     LLC,
     Memory,
+};
+
+/**
+ * Per-access tally of cache probe outcomes, mirroring exactly the
+ * increments applied to the Cache objects' own hit/miss counters.
+ * The event tracer (src/obs) attaches one of these per simulated
+ * access; when no tally is attached the hierarchy skips the updates.
+ * Lives here rather than in obs/ so mem/ needs no obs dependency.
+ */
+struct CacheTally
+{
+    std::uint32_t l1dHits = 0;
+    std::uint32_t l1dMisses = 0;
+    std::uint32_t l2Hits = 0;
+    std::uint32_t l2Misses = 0;
+    std::uint32_t llcHits = 0;
+    std::uint32_t llcMisses = 0;
+    std::uint32_t memAccesses = 0;
+
+    void reset() { *this = CacheTally{}; }
 };
 
 /** The cache hierarchy; charges cycles per physical access. */
@@ -98,6 +120,13 @@ class MemoryHierarchy
     Counter accesses() const { return accesses_; }
     Counter memoryAccesses() const { return memAccesses_; }
 
+    /**
+     * Attach (or detach, with nullptr) a per-access probe tally the
+     * hierarchy updates alongside its own counters. Owned by the
+     * caller; the event tracer resets it per simulated access.
+     */
+    void setEventTally(CacheTally *tally) { tally_ = tally; }
+
   private:
     HierarchyConfig config_;
     // Direct members (no unique_ptr indirection): every access()
@@ -107,6 +136,7 @@ class MemoryHierarchy
     Cache llc_;
     Counter accesses_ = 0;
     Counter memAccesses_ = 0;
+    CacheTally *tally_ = nullptr;
     InvariantAuditor *auditor_ = nullptr;
     int auditHookId_ = 0;
 };

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Translation-path event records and the sink interface.
+ *
+ * Every simulated access can emit one TranslationEvent describing the
+ * full journey of the translation: which TLB level hit, how deep the
+ * PWC reached, which walk path served the miss (radix, nested, DMT
+ * register file, DMT fallback), how many TEA probes were issued and
+ * whether a gTEA table mediated them, plus per-access cache-probe
+ * tallies. The record is all-integer and fixed-width, so the on-disk
+ * stream (see event_log.hh) is byte-identical across platforms and
+ * thread counts, and every translation ScalarStat can be rebuilt from
+ * it with exact equality (see replay.hh and tools/events_check).
+ *
+ * The tracer is zero-overhead when off: the simulator's hot loop is
+ * instantiated twice (see TranslationSimulator::runImpl) and the
+ * untraced instantiation contains no sink checks at all.
+ */
+
+#ifndef DMT_OBS_EVENT_HH
+#define DMT_OBS_EVENT_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/mechanism.hh"
+
+namespace dmt::obs
+{
+
+/** Which TLB level served the access. */
+enum class TlbLevel : std::uint8_t
+{
+    L1 = 0,    //!< L1 DTLB hit
+    Stlb = 1,  //!< L2 STLB hit (refills the L1)
+    Miss = 2,  //!< full miss — a walk followed
+};
+
+/**
+ * Which path produced the translation. TlbHit is 0; the remaining
+ * values are 1 + TranslationPath so walker annotations map directly.
+ */
+enum class EventPath : std::uint8_t
+{
+    TlbHit = 0,
+    Other = 1,        //!< walk by a baseline without annotations
+    Radix = 2,
+    Nested = 3,
+    DmtDirect = 4,
+    DmtFallback = 5,
+};
+
+/** @return the EventPath for a walk served by `path`. */
+constexpr EventPath
+eventPathOf(TranslationPath path)
+{
+    return static_cast<EventPath>(static_cast<std::uint8_t>(path) + 1);
+}
+
+/** Stable lower-case name for an EventPath ("tlb_hit", "radix", …). */
+const char *eventPathName(EventPath path);
+
+/** Number of distinct EventPath values. */
+inline constexpr int kNumEventPaths = 6;
+
+// TranslationEvent.flags bits.
+inline constexpr std::uint8_t kEventMeasured = 1;  //!< not warmup
+inline constexpr std::uint8_t kEventGtea = 2;      //!< gTEA mediated
+inline constexpr std::uint8_t kEventFellBack = 4;  //!< walker fallback
+
+/**
+ * One simulated access, fully annotated. Fixed-width integers only;
+ * the serialised little-endian layout is documented in event_log.hh.
+ */
+struct TranslationEvent
+{
+    std::uint64_t accessId = 0;  //!< 0-based, warmup included
+    std::uint64_t va = 0;        //!< accessed (guest-most) VA
+    std::uint64_t pa = 0;        //!< final physical address
+    std::uint32_t walkCycles = 0;   //!< walk latency (0 on TLB hit)
+    std::uint16_t seqRefs = 0;      //!< dependent walk references
+    std::uint16_t parallelRefs = 0; //!< parallel walk references
+    std::uint8_t tlb = 0;           //!< TlbLevel
+    std::uint8_t path = 0;          //!< EventPath
+    std::uint8_t pageSize = 0;      //!< PageSize of the mapping
+    std::int8_t pwcStartLevel = -1; //!< PWC depth reached (-1 none)
+    std::uint8_t pwcHits = 0;
+    std::uint8_t pwcMisses = 0;
+    std::uint8_t nestedPwcHits = 0;
+    std::uint8_t nestedPwcMisses = 0;
+    std::uint8_t nestedWalks = 0;
+    std::uint8_t dmtProbes = 0;
+    std::uint8_t dmtFaults = 0;
+    std::uint8_t flags = 0;
+    // Cache-probe tallies for the whole access (walk + data access),
+    // mirroring MemoryHierarchy's own counters exactly.
+    std::uint8_t l1dHits = 0;
+    std::uint8_t l1dMisses = 0;
+    std::uint8_t l2Hits = 0;
+    std::uint8_t l2Misses = 0;
+    std::uint8_t llcHits = 0;
+    std::uint8_t llcMisses = 0;
+    std::uint8_t memAccesses = 0;
+
+    bool measured() const { return flags & kEventMeasured; }
+};
+
+/** An event plus its per-step walk costs, as decoded from a file. */
+struct DecodedEvent
+{
+    TranslationEvent ev;
+    std::vector<WalkStepCost> steps;
+};
+
+/** Flat name → value view of translation counters. */
+using CounterMap = std::map<std::string, std::uint64_t>;
+
+/**
+ * Receiver for translation events. The simulator calls emit() once
+ * per simulated access while a sink is attached.
+ */
+class EventSink
+{
+  public:
+    virtual ~EventSink() = default;
+
+    /**
+     * Record one access. `steps` holds the walk's per-step costs
+     * (empty on TLB hits or when step recording is off); the sink
+     * must copy anything it keeps.
+     */
+    virtual void emit(const TranslationEvent &event,
+                      const std::vector<WalkStepCost> &steps) = 0;
+};
+
+/**
+ * In-memory sink retaining the last `capacity` events in a ring.
+ * Used by tests and by callers wanting post-mortem access without a
+ * file; for full-run capture use FileEventSink (event_log.hh).
+ */
+class RingEventSink : public EventSink
+{
+  public:
+    explicit RingEventSink(std::size_t capacity = 65536);
+
+    void emit(const TranslationEvent &event,
+              const std::vector<WalkStepCost> &steps) override;
+
+    /** Events currently retained, oldest first. */
+    std::vector<DecodedEvent> drain();
+
+    /** Total events ever emitted (not just retained). */
+    std::uint64_t emitted() const { return emitted_; }
+
+  private:
+    std::vector<DecodedEvent> ring_;
+    std::size_t capacity_;
+    std::size_t head_ = 0;  //!< next write position
+    std::uint64_t emitted_ = 0;
+};
+
+} // namespace dmt::obs
+
+#endif // DMT_OBS_EVENT_HH

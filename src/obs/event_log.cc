@@ -1,0 +1,414 @@
+#include "obs/event_log.hh"
+
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace dmt::obs
+{
+
+namespace
+{
+
+/** Flush the encode buffer once it grows past this many bytes. */
+constexpr std::size_t kFlushThreshold = 1u << 20;
+
+void
+put8(std::vector<unsigned char> &b, std::uint8_t v)
+{
+    b.push_back(v);
+}
+
+void
+put16(std::vector<unsigned char> &b, std::uint16_t v)
+{
+    b.push_back(static_cast<unsigned char>(v & 0xff));
+    b.push_back(static_cast<unsigned char>(v >> 8));
+}
+
+void
+put32(std::vector<unsigned char> &b, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        b.push_back(static_cast<unsigned char>((v >> (8 * i)) & 0xff));
+}
+
+void
+put64(std::vector<unsigned char> &b, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        b.push_back(static_cast<unsigned char>((v >> (8 * i)) & 0xff));
+}
+
+/** Bounds-checked little-endian reads over a byte span. */
+class ByteReader
+{
+  public:
+    ByteReader(const unsigned char *data, std::size_t size,
+               const std::string &path)
+        : data_(data), size_(size), path_(path)
+    {
+    }
+
+    std::uint8_t
+    u8()
+    {
+        need(1);
+        return data_[pos_++];
+    }
+
+    std::uint16_t
+    u16()
+    {
+        need(2);
+        std::uint16_t v = 0;
+        for (int i = 0; i < 2; ++i)
+            v |= static_cast<std::uint16_t>(data_[pos_ + i]) << (8 * i);
+        pos_ += 2;
+        return v;
+    }
+
+    std::uint32_t
+    u32()
+    {
+        need(4);
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+        pos_ += 4;
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        need(8);
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+        pos_ += 8;
+        return v;
+    }
+
+    std::string
+    bytes(std::size_t n)
+    {
+        need(n);
+        std::string s(reinterpret_cast<const char *>(data_ + pos_), n);
+        pos_ += n;
+        return s;
+    }
+
+    std::size_t remaining() const { return size_ - pos_; }
+
+  private:
+    void
+    need(std::size_t n)
+    {
+        if (size_ - pos_ < n)
+            fatal("corrupt event log %s: truncated at byte %zu",
+                  path_.c_str(), pos_);
+    }
+
+    const unsigned char *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+    const std::string &path_;
+};
+
+} // namespace
+
+const char *
+eventPathName(EventPath path)
+{
+    switch (path) {
+      case EventPath::TlbHit: return "tlb_hit";
+      case EventPath::Other: return "other";
+      case EventPath::Radix: return "radix";
+      case EventPath::Nested: return "nested";
+      case EventPath::DmtDirect: return "dmt_direct";
+      case EventPath::DmtFallback: return "dmt_fallback";
+    }
+    return "invalid";
+}
+
+RingEventSink::RingEventSink(std::size_t capacity)
+    : capacity_(capacity)
+{
+    DMT_ASSERT(capacity_ > 0, "ring sink needs a positive capacity");
+    ring_.reserve(capacity_);
+}
+
+void
+RingEventSink::emit(const TranslationEvent &event,
+                    const std::vector<WalkStepCost> &steps)
+{
+    ++emitted_;
+    if (ring_.size() < capacity_) {
+        ring_.push_back({event, steps});
+        return;
+    }
+    ring_[head_] = {event, steps};
+    head_ = (head_ + 1) % capacity_;
+}
+
+std::vector<DecodedEvent>
+RingEventSink::drain()
+{
+    std::vector<DecodedEvent> out;
+    out.reserve(ring_.size());
+    for (std::size_t i = 0; i < ring_.size(); ++i)
+        out.push_back(std::move(ring_[(head_ + i) % ring_.size()]));
+    ring_.clear();
+    head_ = 0;
+    return out;
+}
+
+FileEventSink::FileEventSink(const std::string &path)
+    : path_(path), os_(path, std::ios::binary | std::ios::trunc)
+{
+    if (!os_.good())
+        fatal("cannot open event log %s for writing", path.c_str());
+    buffer_.reserve(kFlushThreshold + 4096);
+    // Header with zeroed counts; finish() patches them in place.
+    buffer_.insert(buffer_.end(), kEventLogMagic,
+                   kEventLogMagic + sizeof(kEventLogMagic));
+    put32(buffer_, kEventLogVersion);
+    put32(buffer_, kEventRecordBytes);
+    put32(buffer_, kStepRecordBytes);
+    put32(buffer_, 0);  // reserved
+    put64(buffer_, 0);  // eventCount
+    put64(buffer_, 0);  // stepCount
+    put64(buffer_, 0);  // counterCount
+}
+
+FileEventSink::~FileEventSink()
+{
+    if (!finished_)
+        finish();
+}
+
+void
+FileEventSink::flushBuffer()
+{
+    if (buffer_.empty())
+        return;
+    os_.write(reinterpret_cast<const char *>(buffer_.data()),
+              static_cast<std::streamsize>(buffer_.size()));
+    buffer_.clear();
+}
+
+void
+FileEventSink::emit(const TranslationEvent &ev,
+                    const std::vector<WalkStepCost> &steps)
+{
+    DMT_ASSERT(!finished_, "emit() after finish() on %s",
+               path_.c_str());
+    DMT_ASSERT(steps.size() <= 255,
+               "walk with %zu steps overflows the event record",
+               steps.size());
+    put64(buffer_, ev.accessId);
+    put64(buffer_, ev.va);
+    put64(buffer_, ev.pa);
+    put32(buffer_, ev.walkCycles);
+    put16(buffer_, ev.seqRefs);
+    put16(buffer_, ev.parallelRefs);
+    put8(buffer_, ev.tlb);
+    put8(buffer_, ev.path);
+    put8(buffer_, ev.pageSize);
+    put8(buffer_, static_cast<std::uint8_t>(ev.pwcStartLevel));
+    put8(buffer_, ev.pwcHits);
+    put8(buffer_, ev.pwcMisses);
+    put8(buffer_, ev.nestedPwcHits);
+    put8(buffer_, ev.nestedPwcMisses);
+    put8(buffer_, ev.nestedWalks);
+    put8(buffer_, ev.dmtProbes);
+    put8(buffer_, ev.dmtFaults);
+    put8(buffer_, ev.flags);
+    put8(buffer_, ev.l1dHits);
+    put8(buffer_, ev.l1dMisses);
+    put8(buffer_, ev.l2Hits);
+    put8(buffer_, ev.l2Misses);
+    put8(buffer_, ev.llcHits);
+    put8(buffer_, ev.llcMisses);
+    put8(buffer_, ev.memAccesses);
+    put8(buffer_, static_cast<std::uint8_t>(steps.size()));
+    for (const auto &step : steps) {
+        DMT_ASSERT(step.cycles <= 0xffffffffull,
+                   "step cost %llu overflows the step record",
+                   static_cast<unsigned long long>(step.cycles));
+        put64(buffer_, step.pa);
+        put32(buffer_, static_cast<std::uint32_t>(step.cycles));
+        put8(buffer_, static_cast<std::uint8_t>(step.dim));
+        put8(buffer_, static_cast<std::uint8_t>(step.level));
+        put8(buffer_, static_cast<std::uint8_t>(step.slot));
+        put8(buffer_, 0);
+    }
+    ++eventCount_;
+    stepCount_ += steps.size();
+    if (buffer_.size() >= kFlushThreshold)
+        flushBuffer();
+}
+
+void
+FileEventSink::setCounters(const CounterMap &counters)
+{
+    counters_ = counters;
+}
+
+void
+FileEventSink::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    for (const auto &[name, value] : counters_) {
+        put32(buffer_, static_cast<std::uint32_t>(name.size()));
+        buffer_.insert(buffer_.end(), name.begin(), name.end());
+        put64(buffer_, value);
+    }
+    flushBuffer();
+    // Patch the header counts now that the totals are known.
+    std::vector<unsigned char> counts;
+    put64(counts, eventCount_);
+    put64(counts, stepCount_);
+    put64(counts, counters_.size());
+    os_.seekp(24);
+    os_.write(reinterpret_cast<const char *>(counts.data()),
+              static_cast<std::streamsize>(counts.size()));
+    os_.close();
+    if (!os_.good())
+        fatal("failed writing event log %s", path_.c_str());
+}
+
+EventLog
+readEventLog(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is.good())
+        fatal("cannot open event log %s", path.c_str());
+    std::vector<unsigned char> data(
+        (std::istreambuf_iterator<char>(is)),
+        std::istreambuf_iterator<char>());
+    ByteReader r(data.data(), data.size(), path);
+
+    char magic[8];
+    for (char &c : magic)
+        c = static_cast<char>(r.u8());
+    if (std::memcmp(magic, kEventLogMagic, sizeof(magic)) != 0)
+        fatal("%s is not a .dmtevents file (bad magic)", path.c_str());
+    const std::uint32_t version = r.u32();
+    if (version != kEventLogVersion)
+        fatal("%s: unsupported event-log version %u", path.c_str(),
+              version);
+    const std::uint32_t eventBytes = r.u32();
+    const std::uint32_t stepBytes = r.u32();
+    if (eventBytes != kEventRecordBytes ||
+        stepBytes != kStepRecordBytes) {
+        fatal("%s: record sizes %u/%u do not match this build's %u/%u",
+              path.c_str(), eventBytes, stepBytes, kEventRecordBytes,
+              kStepRecordBytes);
+    }
+    r.u32();  // reserved
+    const std::uint64_t eventCount = r.u64();
+    const std::uint64_t stepCount = r.u64();
+    const std::uint64_t counterCount = r.u64();
+
+    EventLog log;
+    log.events.reserve(eventCount);
+    std::uint64_t stepsSeen = 0;
+    for (std::uint64_t i = 0; i < eventCount; ++i) {
+        DecodedEvent de;
+        TranslationEvent &ev = de.ev;
+        ev.accessId = r.u64();
+        ev.va = r.u64();
+        ev.pa = r.u64();
+        ev.walkCycles = r.u32();
+        ev.seqRefs = r.u16();
+        ev.parallelRefs = r.u16();
+        ev.tlb = r.u8();
+        ev.path = r.u8();
+        ev.pageSize = r.u8();
+        ev.pwcStartLevel = static_cast<std::int8_t>(r.u8());
+        ev.pwcHits = r.u8();
+        ev.pwcMisses = r.u8();
+        ev.nestedPwcHits = r.u8();
+        ev.nestedPwcMisses = r.u8();
+        ev.nestedWalks = r.u8();
+        ev.dmtProbes = r.u8();
+        ev.dmtFaults = r.u8();
+        ev.flags = r.u8();
+        ev.l1dHits = r.u8();
+        ev.l1dMisses = r.u8();
+        ev.l2Hits = r.u8();
+        ev.l2Misses = r.u8();
+        ev.llcHits = r.u8();
+        ev.llcMisses = r.u8();
+        ev.memAccesses = r.u8();
+        const std::uint8_t nSteps = r.u8();
+        de.steps.reserve(nSteps);
+        for (std::uint8_t s = 0; s < nSteps; ++s) {
+            WalkStepCost step;
+            step.pa = r.u64();
+            step.cycles = r.u32();
+            step.dim = static_cast<char>(r.u8());
+            step.level = static_cast<std::int8_t>(r.u8());
+            step.slot = static_cast<std::int8_t>(r.u8());
+            r.u8();  // pad
+            de.steps.push_back(step);
+        }
+        stepsSeen += nSteps;
+        log.events.push_back(std::move(de));
+    }
+    if (stepsSeen != stepCount)
+        fatal("%s: header says %llu steps but records hold %llu",
+              path.c_str(),
+              static_cast<unsigned long long>(stepCount),
+              static_cast<unsigned long long>(stepsSeen));
+    for (std::uint64_t i = 0; i < counterCount; ++i) {
+        const std::uint32_t nameLen = r.u32();
+        if (nameLen > 4096)
+            fatal("%s: implausible counter name length %u",
+                  path.c_str(), nameLen);
+        std::string name = r.bytes(nameLen);
+        log.counters[std::move(name)] = r.u64();
+    }
+    if (r.remaining() != 0)
+        fatal("%s: %zu trailing bytes after the counter footer",
+              path.c_str(), r.remaining());
+    return log;
+}
+
+std::uint64_t
+fileDigest(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is.good())
+        fatal("cannot open %s for digesting", path.c_str());
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    char chunk[4096];
+    while (is.read(chunk, sizeof(chunk)) || is.gcount() > 0) {
+        const std::streamsize n = is.gcount();
+        for (std::streamsize i = 0; i < n; ++i) {
+            h ^= static_cast<unsigned char>(chunk[i]);
+            h *= 0x100000001b3ull;
+        }
+        if (n < static_cast<std::streamsize>(sizeof(chunk)))
+            break;
+    }
+    return h;
+}
+
+std::string
+digestString(std::uint64_t digest)
+{
+    static const char hex[] = "0123456789abcdef";
+    std::string s(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        s[static_cast<std::size_t>(i)] = hex[digest & 0xf];
+        digest >>= 4;
+    }
+    return s;
+}
+
+} // namespace dmt::obs

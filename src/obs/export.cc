@@ -1,0 +1,256 @@
+#include "obs/export.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/stats.hh"
+#include "driver/json.hh"
+#include "obs/replay.hh"
+
+namespace dmt::obs
+{
+
+const char *const eventsSchema = "dmt-events-v1";
+
+namespace
+{
+
+/** Walk-latency histogram geometry shared by all paths. */
+constexpr std::size_t kLatencyBuckets = 64;
+constexpr double kLatencyBucketWidth = 25.0;
+
+std::string
+hex(std::uint64_t v)
+{
+    char buf[2 + 16 + 1];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+void
+writeCounterMap(JsonWriter &json, const CounterMap &counters)
+{
+    json.beginObject();
+    for (const auto &[name, value] : counters)
+        json.field(name, value);
+    json.endObject();
+}
+
+/** One trace_event slice. `dur < 0` means an M (metadata) record. */
+void
+writeSlice(JsonWriter &json, const std::string &name, int tid,
+           std::uint64_t ts, std::int64_t dur)
+{
+    json.beginObject();
+    json.field("name", name);
+    json.field("ph", dur < 0 ? "M" : "X");
+    json.field("pid", 1);
+    json.field("tid", tid);
+    if (dur >= 0) {
+        json.field("ts", ts);
+        json.field("dur", dur);
+    }
+    return; // caller adds args + endObject
+}
+
+} // namespace
+
+void
+writeChromeTrace(std::ostream &os, const EventLog &log,
+                 const std::string &name)
+{
+    JsonWriter json(os);
+    json.beginObject();
+    json.field("displayTimeUnit", "ns");
+    json.key("traceEvents");
+    json.beginArray();
+
+    // Metadata: process name + one named row per translation path,
+    // plus a parallel "<path> steps" row for the per-step slices
+    // (kept separate because DMT parallel references overlap in time
+    // and would not nest inside the walk slice).
+    json.beginObject();
+    json.field("name", "process_name");
+    json.field("ph", "M");
+    json.field("pid", 1);
+    json.field("tid", 0);
+    json.key("args");
+    json.beginObject();
+    json.field("name", name);
+    json.endObject();
+    json.endObject();
+    for (int p = 0; p < kNumEventPaths; ++p) {
+        const auto path = static_cast<EventPath>(p);
+        for (int steps = 0; steps < 2; ++steps) {
+            json.beginObject();
+            json.field("name", "thread_name");
+            json.field("ph", "M");
+            json.field("pid", 1);
+            json.field("tid", steps ? 100 + p : p);
+            json.key("args");
+            json.beginObject();
+            json.field("name", std::string(eventPathName(path)) +
+                                   (steps ? " steps" : ""));
+            json.endObject();
+            json.endObject();
+        }
+    }
+
+    // The timeline is simulated time: a deterministic clock advancing
+    // by each event's latency (min 1 so zero-latency events keep the
+    // per-row slices strictly ordered). TLB hits are skipped.
+    std::uint64_t clock = 0;
+    for (const DecodedEvent &de : log.events) {
+        const TranslationEvent &ev = de.ev;
+        const std::uint64_t dur =
+            ev.walkCycles ? ev.walkCycles : std::uint64_t{1};
+        if (static_cast<EventPath>(ev.path) == EventPath::TlbHit) {
+            clock += 1;
+            continue;
+        }
+        const int tid = ev.path;
+        writeSlice(json,
+                   std::string("walk ") +
+                       eventPathName(static_cast<EventPath>(ev.path)),
+                   tid, clock, static_cast<std::int64_t>(dur));
+        json.key("args");
+        json.beginObject();
+        json.field("accessId", ev.accessId);
+        json.field("va", hex(ev.va));
+        json.field("pa", hex(ev.pa));
+        json.field("cycles", std::uint64_t{ev.walkCycles});
+        json.field("measured", ev.measured());
+        json.endObject();
+        json.endObject();
+
+        std::uint64_t offset = 0;
+        for (const WalkStepCost &step : de.steps) {
+            char label[32];
+            std::snprintf(label, sizeof(label), "%c L%d", step.dim,
+                          static_cast<int>(step.level));
+            writeSlice(json, label, 100 + tid, clock + offset,
+                       static_cast<std::int64_t>(step.cycles));
+            json.key("args");
+            json.beginObject();
+            json.field("pa", hex(step.pa));
+            json.endObject();
+            json.endObject();
+            offset += step.cycles ? step.cycles : 1;
+        }
+        clock += dur;
+    }
+
+    json.endArray();
+    json.endObject();
+    os << "\n";
+}
+
+void
+writeEventsJson(std::ostream &os, const EventLog &log,
+                const std::string &source)
+{
+    // Per-path tallies and latency histograms over walk events.
+    std::uint64_t pathEvents[kNumEventPaths] = {};
+    std::uint64_t pathCycles[kNumEventPaths] = {};
+    std::uint64_t measured = 0, walks = 0, steps = 0;
+    std::vector<Histogram> latency(
+        kNumEventPaths, Histogram(kLatencyBuckets, kLatencyBucketWidth));
+    for (const DecodedEvent &de : log.events) {
+        const TranslationEvent &ev = de.ev;
+        ++pathEvents[ev.path];
+        pathCycles[ev.path] += ev.walkCycles;
+        measured += ev.measured() ? 1 : 0;
+        steps += de.steps.size();
+        if (static_cast<EventPath>(ev.path) != EventPath::TlbHit) {
+            ++walks;
+            latency[ev.path].sample(static_cast<double>(ev.walkCycles));
+        }
+    }
+
+    const CounterMap reconstructed = reconstructCounters(log.events);
+    const std::vector<std::string> mismatches =
+        compareCounters(log.counters, reconstructed);
+
+    JsonWriter json(os);
+    json.beginObject();
+    json.field("schema", eventsSchema);
+    json.field("source", source);
+    json.field("events", std::uint64_t{log.events.size()});
+    json.field("measured_events", measured);
+    json.field("walks", walks);
+    json.field("steps", steps);
+
+    json.key("paths");
+    json.beginObject();
+    for (int p = 0; p < kNumEventPaths; ++p) {
+        const auto path = static_cast<EventPath>(p);
+        json.key(eventPathName(path));
+        json.beginObject();
+        json.field("events", pathEvents[p]);
+        json.field("walk_cycles", pathCycles[p]);
+        if (path != EventPath::TlbHit) {
+            const Histogram &h = latency[p];
+            json.key("latency");
+            json.beginObject();
+            json.field("bucket_width", kLatencyBucketWidth);
+            json.field("count", std::uint64_t{h.count()});
+            json.field("overflow", std::uint64_t{h.overflow()});
+            json.field("mean", h.mean());
+            json.field("p50", h.percentile(0.50));
+            json.field("p95", h.percentile(0.95));
+            json.field("p99", h.percentile(0.99));
+            json.key("buckets");
+            json.beginArray();
+            for (std::size_t i = 0; i < h.numBuckets(); ++i)
+                json.value(std::uint64_t{h.bucket(i)});
+            json.endArray();
+            json.endObject();
+        }
+        json.endObject();
+    }
+    json.endObject();
+
+    json.key("counters_reconstructed");
+    writeCounterMap(json, reconstructed);
+    json.key("counters_footer");
+    writeCounterMap(json, log.counters);
+    json.field("verified", mismatches.empty());
+    json.key("mismatches");
+    json.beginArray();
+    for (const std::string &m : mismatches)
+        json.value(m);
+    json.endArray();
+
+    json.endObject();
+    os << "\n";
+}
+
+void
+writeEventsIndexJson(std::ostream &os,
+                     const std::vector<EventsIndexEntry> &entries)
+{
+    std::vector<EventsIndexEntry> sorted = entries;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const EventsIndexEntry &a, const EventsIndexEntry &b) {
+                  return a.file < b.file;
+              });
+
+    JsonWriter json(os);
+    json.beginObject();
+    json.field("schema", "dmt-events-index-v1");
+    json.field("cells", std::uint64_t{sorted.size()});
+    json.key("files");
+    json.beginArray();
+    for (const EventsIndexEntry &e : sorted) {
+        json.beginObject();
+        json.field("file", e.file);
+        json.field("digest", digestString(e.digest));
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+    os << "\n";
+}
+
+} // namespace dmt::obs

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Event-log exporters: Chrome trace_event JSON for timeline viewing
+ * (Perfetto / chrome://tracing) and the dmt-events-v1 summary JSON
+ * with per-path latency histograms and reconstructed counters.
+ *
+ * Both exporters go through the deterministic JsonWriter and derive
+ * every emitted value from the event stream alone (no wall-clock
+ * timestamps), so their output is byte-identical across runs and
+ * thread counts — the same contract as the campaign report.
+ */
+
+#ifndef DMT_OBS_EXPORT_HH
+#define DMT_OBS_EXPORT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/event_log.hh"
+
+namespace dmt::obs
+{
+
+/** Schema identifier of the events summary document. */
+extern const char *const eventsSchema;
+
+/**
+ * Write a Chrome trace_event document for the log's walks. The
+ * timeline is simulated time: a cycle counter advancing by each
+ * event's walk latency (min 1), with one timeline row (tid) per
+ * translation path and each walk's recorded steps nested as
+ * sub-slices at their prefix-sum offsets. TLB hits are omitted —
+ * they would dominate the file while carrying no timing structure.
+ *
+ * @param name the process_name shown in the viewer (e.g. the cell id)
+ */
+void writeChromeTrace(std::ostream &os, const EventLog &log,
+                      const std::string &name);
+
+/**
+ * Write the dmt-events-v1 summary: event totals, per-path event
+ * counts and walk-latency histograms (64 buckets of 25 cycles, with
+ * a counted overflow bucket), the counters reconstructed from the
+ * stream, the counters embedded in the file footer, and the result
+ * of comparing the two (`verified` plus any mismatch lines).
+ */
+void writeEventsJson(std::ostream &os, const EventLog &log,
+                     const std::string &source);
+
+/** One entry of a campaign events index. */
+struct EventsIndexEntry
+{
+    std::string file;       //!< file name within the events dir
+    std::uint64_t digest;   //!< FNV-1a 64 of the file's bytes
+};
+
+/**
+ * Write the campaign events index (one digest per cell file), the
+ * cross-thread determinism witness: `dmt-campaign --events-dir` runs
+ * with different --threads must produce identical indexes.
+ */
+void writeEventsIndexJson(std::ostream &os,
+                          const std::vector<EventsIndexEntry> &entries);
+
+} // namespace dmt::obs
+
+#endif // DMT_OBS_EXPORT_HH

@@ -1,0 +1,167 @@
+#include "obs/replay.hh"
+
+#include <set>
+#include <sstream>
+
+namespace dmt::obs
+{
+
+CounterMap
+reconstructCounters(const std::vector<DecodedEvent> &events)
+{
+    // The full fixed key set, so absent activity shows up as an
+    // explicit zero rather than a missing key.
+    CounterMap m{
+        {"sim.accesses", 0},
+        {"sim.l1_tlb_hits", 0},
+        {"sim.l2_tlb_hits", 0},
+        {"sim.walks", 0},
+        {"sim.fallbacks", 0},
+        {"sim.seq_refs", 0},
+        {"sim.parallel_refs", 0},
+        {"sim.walk_cycles", 0},
+        {"tlb.l1d.hits", 0},
+        {"tlb.l1d.misses", 0},
+        {"tlb.stlb.hits", 0},
+        {"tlb.stlb.misses", 0},
+        {"pwc.guest.hits", 0},
+        {"pwc.guest.misses", 0},
+        {"pwc.nested.hits", 0},
+        {"pwc.nested.misses", 0},
+        {"dmt.requests", 0},
+        {"dmt.direct", 0},
+        {"dmt.fallbacks", 0},
+        {"dmt.isolation_faults", 0},
+        {"cache.l1d.hits", 0},
+        {"cache.l1d.misses", 0},
+        {"cache.l2.hits", 0},
+        {"cache.l2.misses", 0},
+        {"cache.llc.hits", 0},
+        {"cache.llc.misses", 0},
+        {"hierarchy.accesses", 0},
+        {"hierarchy.memory_accesses", 0},
+    };
+    for (const auto &de : events) {
+        const TranslationEvent &ev = de.ev;
+        const auto tlb = static_cast<TlbLevel>(ev.tlb);
+        const auto path = static_cast<EventPath>(ev.path);
+
+        // Simulator aggregates cover the measurement phase only.
+        if (ev.measured()) {
+            ++m["sim.accesses"];
+            if (tlb == TlbLevel::L1)
+                ++m["sim.l1_tlb_hits"];
+            else if (tlb == TlbLevel::Stlb)
+                ++m["sim.l2_tlb_hits"];
+            if (tlb == TlbLevel::Miss) {
+                ++m["sim.walks"];
+                m["sim.walk_cycles"] += ev.walkCycles;
+                m["sim.seq_refs"] += ev.seqRefs;
+                m["sim.parallel_refs"] += ev.parallelRefs;
+                if (ev.flags & kEventFellBack)
+                    ++m["sim.fallbacks"];
+            }
+        }
+
+        // TLB structure counters: lookupData probes the L1 exactly
+        // once per access and the STLB only on an L1 miss.
+        if (tlb == TlbLevel::L1) {
+            ++m["tlb.l1d.hits"];
+        } else {
+            ++m["tlb.l1d.misses"];
+            if (tlb == TlbLevel::Stlb)
+                ++m["tlb.stlb.hits"];
+            else
+                ++m["tlb.stlb.misses"];
+        }
+
+        m["pwc.guest.hits"] += ev.pwcHits;
+        m["pwc.guest.misses"] += ev.pwcMisses;
+        m["pwc.nested.hits"] += ev.nestedPwcHits;
+        m["pwc.nested.misses"] += ev.nestedPwcMisses;
+
+        if (path == EventPath::DmtDirect ||
+            path == EventPath::DmtFallback) {
+            ++m["dmt.requests"];
+            if (path == EventPath::DmtDirect)
+                ++m["dmt.direct"];
+            else
+                ++m["dmt.fallbacks"];
+        }
+        m["dmt.isolation_faults"] += ev.dmtFaults;
+
+        m["cache.l1d.hits"] += ev.l1dHits;
+        m["cache.l1d.misses"] += ev.l1dMisses;
+        m["cache.l2.hits"] += ev.l2Hits;
+        m["cache.l2.misses"] += ev.l2Misses;
+        m["cache.llc.hits"] += ev.llcHits;
+        m["cache.llc.misses"] += ev.llcMisses;
+        // Every hierarchy access probes the L1D exactly once.
+        m["hierarchy.accesses"] += ev.l1dHits;
+        m["hierarchy.accesses"] += ev.l1dMisses;
+        m["hierarchy.memory_accesses"] += ev.memAccesses;
+    }
+    return m;
+}
+
+CounterMap
+counterMapFromStats(const StatGroup &stats)
+{
+    CounterMap m;
+    for (const auto &[name, stat] : stats.snapshot())
+        m[name] = static_cast<std::uint64_t>(stat.sum());
+    return m;
+}
+
+CounterMap
+diffCounters(const CounterMap &before, const CounterMap &after)
+{
+    CounterMap m;
+    for (const auto &[name, value] : after) {
+        const auto it = before.find(name);
+        const std::uint64_t base =
+            it == before.end() ? 0 : it->second;
+        m[name] = value - base;
+    }
+    return m;
+}
+
+void
+addSimResultCounters(CounterMap &counters, const SimResult &res)
+{
+    counters["sim.accesses"] = res.accesses;
+    counters["sim.l1_tlb_hits"] = res.l1TlbHits;
+    counters["sim.l2_tlb_hits"] = res.l2TlbHits;
+    counters["sim.walks"] = res.walks;
+    counters["sim.fallbacks"] = res.fallbacks;
+    counters["sim.seq_refs"] = res.seqRefs;
+    counters["sim.parallel_refs"] = res.parallelRefs;
+    counters["sim.walk_cycles"] =
+        static_cast<std::uint64_t>(res.walkCycles);
+}
+
+std::vector<std::string>
+compareCounters(const CounterMap &expect, const CounterMap &got)
+{
+    std::set<std::string> keys;
+    for (const auto &[name, value] : expect)
+        keys.insert(name);
+    for (const auto &[name, value] : got)
+        keys.insert(name);
+    std::vector<std::string> mismatches;
+    for (const auto &key : keys) {
+        const auto eIt = expect.find(key);
+        const auto gIt = got.find(key);
+        const std::uint64_t e =
+            eIt == expect.end() ? 0 : eIt->second;
+        const std::uint64_t g = gIt == got.end() ? 0 : gIt->second;
+        if (e == g)
+            continue;
+        std::ostringstream os;
+        os << key << ": expected " << e << ", reconstructed " << g;
+        mismatches.push_back(os.str());
+    }
+    return mismatches;
+}
+
+} // namespace dmt::obs

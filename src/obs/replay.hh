@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Counter reconstruction from an event stream.
+ *
+ * The differential contract: every translation ScalarStat the testbed
+ * exports (see Testbed::translationStats) must be recomputable from
+ * the event stream alone, with exact integer equality. This is what
+ * makes the tracer an oracle — any divergence between the live
+ * counters and the replayed ones means either an event field or a
+ * counter is wrong, and `ctest -L events` plus tools/events_check
+ * fail loudly.
+ *
+ * Comparison uses union-with-zero semantics: a key absent from one
+ * map is treated as zero there, so a vanilla run (which has no dmt.*
+ * counters) verifies cleanly against the reconstruction's fixed key
+ * set.
+ */
+
+#ifndef DMT_OBS_REPLAY_HH
+#define DMT_OBS_REPLAY_HH
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "obs/event_log.hh"
+#include "sim/translation_sim.hh"
+
+namespace dmt::obs
+{
+
+/**
+ * Rebuild every translation counter from the decoded events.
+ * Emits the full fixed key set (zeros included), so the result is
+ * comparable against any testbed's counters under union-with-zero
+ * semantics. `sim.*` keys aggregate measured events only, mirroring
+ * the simulator's warmup/measure split; structural counters (tlb,
+ * pwc, cache, hierarchy, dmt) aggregate all events.
+ */
+CounterMap reconstructCounters(const std::vector<DecodedEvent> &events);
+
+/** Flatten a StatGroup's scalars to name → sum-as-u64. */
+CounterMap counterMapFromStats(const StatGroup &stats);
+
+/**
+ * Per-key difference after − before (before keys default to zero).
+ * Used to confine footer counters to one run on a shared testbed.
+ */
+CounterMap diffCounters(const CounterMap &before,
+                        const CounterMap &after);
+
+/** Add the simulator's own aggregate counters (sim.* keys). */
+void addSimResultCounters(CounterMap &counters, const SimResult &res);
+
+/**
+ * Compare two counter maps under union-with-zero semantics.
+ * @return one human-readable line per mismatching key (empty if the
+ *         maps agree).
+ */
+std::vector<std::string> compareCounters(const CounterMap &expect,
+                                         const CounterMap &got);
+
+} // namespace dmt::obs
+
+#endif // DMT_OBS_REPLAY_HH

@@ -29,6 +29,19 @@ struct WalkStepCost
     /** Logical position in the canonical 24-step 2-D walk of
      *  Figure 2 (1-24), or -1 when not applicable. */
     std::int8_t slot = -1;
+    /** Physical address the step fetched from (0 when unknown —
+     *  baselines that predate the event tracer may not fill it). */
+    Addr pa = 0;
+};
+
+/** Which hot path served a walk (event-tracing classification). */
+enum class TranslationPath : std::uint8_t
+{
+    Other = 0,        //!< baselines without per-path annotations
+    Radix = 1,        //!< native x86 radix walk
+    Nested = 2,       //!< 2-D (nested / shadow-on-nested) walk
+    DmtDirect = 3,    //!< served by the DMT register file
+    DmtFallback = 4,  //!< DMT probe missed, x86 walker finished it
 };
 
 /** The outcome of one full translation (page walk). */
@@ -42,6 +55,23 @@ struct WalkRecord
     bool fellBack = false;   //!< served by the x86 walker fallback
     /** Per-step costs; filled only when step recording is enabled. */
     std::vector<WalkStepCost> steps;
+
+    // Event-tracing annotations (consumed by src/obs). Walkers fill
+    // these unconditionally: each is a single byte store per walk,
+    // which keeps the tracing-off path free of extra branches. The
+    // differential test in tests/test_events.cc holds them to exact
+    // agreement with the owning structures' ScalarStat counters.
+    TranslationPath path = TranslationPath::Other;
+    /** PWC depth reached: first level still fetched (-1 = no PWC). */
+    std::int8_t pwcStartLevel = -1;
+    std::uint8_t pwcHits = 0;        //!< guest/native PWC lookups hit
+    std::uint8_t pwcMisses = 0;      //!< guest/native PWC lookups missed
+    std::uint8_t nestedPwcHits = 0;  //!< host-dimension PWC hits
+    std::uint8_t nestedPwcMisses = 0;
+    std::uint8_t nestedWalks = 0;    //!< host-dimension walks issued
+    std::uint8_t dmtProbes = 0;      //!< parallel TEA probes issued
+    std::uint8_t dmtFaults = 0;      //!< pvDMT gTEA isolation faults
+    bool gteaPath = false;           //!< went through a gTEA table
 };
 
 /** A translation design under evaluation. */

@@ -41,6 +41,7 @@ WalkRecord
 RadixWalker::walk(Addr va)
 {
     WalkRecord rec;
+    rec.path = TranslationPath::Radix;
     const auto path = pt_.walkPath(va);
     DMT_ASSERT(!path.empty(), "walkPath returned nothing");
     DMT_ASSERT(pteIsPresent(path.back().pte),
@@ -52,6 +53,11 @@ RadixWalker::walk(Addr va)
         pwc_.lookup(va, pt_.levels(),
                     static_cast<Pfn>(pt_.rootPa() >> pageShift));
     rec.latency += pwc_.latency();
+    rec.pwcStartLevel = static_cast<std::int8_t>(hit.startLevel);
+    if (hit.hit)
+        ++rec.pwcHits;
+    else
+        ++rec.pwcMisses;
 
     for (const auto &step : path) {
         if (step.level > hit.startLevel)
@@ -61,7 +67,8 @@ RadixWalker::walk(Addr va)
         ++rec.seqRefs;
         if (recordSteps_)
             rec.steps.push_back(
-                {'n', static_cast<std::int8_t>(step.level), cost});
+                {'n', static_cast<std::int8_t>(step.level), cost, -1,
+                 step.pteAddr});
         // Fill the PWC with the table pointer this PTE yields.
         if (step.level > 1 && !pteIsHuge(step.pte))
             pwc_.fill(va, step.level - 1, ptePfn(step.pte));

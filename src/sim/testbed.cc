@@ -612,4 +612,112 @@ NestedTestbed::attachAuditor(InvariantAuditor &auditor)
         shadow_->table().attachAuditor(auditor, "shadow-pt");
 }
 
+namespace
+{
+
+void
+setCounter(StatGroup &g, const std::string &name, std::uint64_t v)
+{
+    g.scalar(name).inc(static_cast<double>(v));
+}
+
+/** TLB + cache-hierarchy counters shared by every environment. */
+void
+addStructureStats(StatGroup &g, const TlbHierarchy &tlbs,
+                  const MemoryHierarchy &caches)
+{
+    setCounter(g, "tlb.l1d.hits", tlbs.l1d().hits());
+    setCounter(g, "tlb.l1d.misses", tlbs.l1d().misses());
+    setCounter(g, "tlb.stlb.hits", tlbs.stlb().hits());
+    setCounter(g, "tlb.stlb.misses", tlbs.stlb().misses());
+    setCounter(g, "cache.l1d.hits", caches.l1d().hits());
+    setCounter(g, "cache.l1d.misses", caches.l1d().misses());
+    setCounter(g, "cache.l2.hits", caches.l2().hits());
+    setCounter(g, "cache.l2.misses", caches.l2().misses());
+    setCounter(g, "cache.llc.hits", caches.llc().hits());
+    setCounter(g, "cache.llc.misses", caches.llc().misses());
+    setCounter(g, "hierarchy.accesses", caches.accesses());
+    setCounter(g, "hierarchy.memory_accesses",
+               caches.memoryAccesses());
+}
+
+void
+addPwcStats(StatGroup &g, const std::string &prefix,
+            std::uint64_t hits, std::uint64_t misses)
+{
+    setCounter(g, prefix + ".hits", hits);
+    setCounter(g, prefix + ".misses", misses);
+}
+
+void
+addFetcherStats(StatGroup &g, const FetcherStats &s)
+{
+    setCounter(g, "dmt.requests", s.requests);
+    setCounter(g, "dmt.direct", s.direct);
+    setCounter(g, "dmt.fallbacks", s.fallbacks);
+    setCounter(g, "dmt.isolation_faults", s.isolationFaults);
+}
+
+} // namespace
+
+void
+NativeTestbed::translationStats(StatGroup &g)
+{
+    addStructureStats(g, tlbs_, caches_);
+    std::uint64_t guestHits = 0, guestMisses = 0;
+    for (RadixWalker *w : {radix_.get(), dmtFallback_.get()}) {
+        if (!w)
+            continue;
+        guestHits += w->pwc().hits();
+        guestMisses += w->pwc().misses();
+    }
+    addPwcStats(g, "pwc.guest", guestHits, guestMisses);
+    addPwcStats(g, "pwc.nested", 0, 0);
+    addFetcherStats(g, dmt_ ? dmt_->stats() : FetcherStats{});
+}
+
+void
+VirtTestbed::translationStats(StatGroup &g)
+{
+    addStructureStats(g, tlbs_, caches_);
+    std::uint64_t guestHits = 0, guestMisses = 0;
+    std::uint64_t nestedHits = 0, nestedMisses = 0;
+    // ASAP delegates its 2-D walks to an embedded NestedWalker whose
+    // annotations flow through unchanged, so its PWCs count here too.
+    for (NestedWalker *w :
+         {nested_.get(), dmtFallback_.get(),
+          asap_ ? &asap_->nested() : nullptr}) {
+        if (!w)
+            continue;
+        guestHits += w->guestPwc().hits();
+        guestMisses += w->guestPwc().misses();
+        nestedHits += w->nestedPwc().hits();
+        nestedMisses += w->nestedPwc().misses();
+    }
+    if (shadowWalker_) {
+        guestHits += shadowWalker_->pwc().hits();
+        guestMisses += shadowWalker_->pwc().misses();
+    }
+    addPwcStats(g, "pwc.guest", guestHits, guestMisses);
+    addPwcStats(g, "pwc.nested", nestedHits, nestedMisses);
+    addFetcherStats(g, dmt_ ? dmt_->stats() : FetcherStats{});
+}
+
+void
+NestedTestbed::translationStats(StatGroup &g)
+{
+    addStructureStats(g, tlbs_, caches_);
+    std::uint64_t guestHits = 0, guestMisses = 0;
+    std::uint64_t nestedHits = 0, nestedMisses = 0;
+    if (nested_) {
+        guestHits = nested_->guestPwc().hits();
+        guestMisses = nested_->guestPwc().misses();
+        nestedHits = nested_->nestedPwc().hits();
+        nestedMisses = nested_->nestedPwc().misses();
+    }
+    addPwcStats(g, "pwc.guest", guestHits, guestMisses);
+    addPwcStats(g, "pwc.nested", nestedHits, nestedMisses);
+    addFetcherStats(g, dmt_ ? dmt_->stats() : FetcherStats{});
+}
+
 } // namespace dmt

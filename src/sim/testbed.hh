@@ -20,6 +20,7 @@
 #include <memory>
 #include <string>
 
+#include "common/stats.hh"
 #include "baselines/agile.hh"
 #include "baselines/asap.hh"
 #include "baselines/ecpt.hh"
@@ -115,6 +116,16 @@ class NativeTestbed
      */
     void attachAuditor(InvariantAuditor &auditor);
 
+    /**
+     * Append every translation counter (TLB, PWC, DMT fetcher,
+     * caches) to `g` under the canonical names the event tracer
+     * reconstructs (see obs/replay.hh). Counters from structures the
+     * annotation-aware walkers own are included; baseline-internal
+     * caches (FPT/ECPT/ASAP-native/Agile) are not, matching the zero
+     * annotations those designs emit.
+     */
+    void translationStats(StatGroup &g);
+
     const DmtNativeFetcher *dmtFetcher() const { return dmt_.get(); }
     TeaManager *teaManager() { return teaMgr_.get(); }
     MappingManager *mappingManager() { return mapMgr_.get(); }
@@ -168,6 +179,9 @@ class VirtTestbed
 
     /** Register all owned structures; call after build(). */
     void attachAuditor(InvariantAuditor &auditor);
+
+    /** Translation counters under canonical names (see obs/). */
+    void translationStats(StatGroup &g);
 
     const DmtVirtFetcher *dmtFetcher() const { return dmt_.get(); }
     const ShadowPager *shadowPager() const { return shadow_.get(); }
@@ -234,6 +248,9 @@ class NestedTestbed
 
     /** Register all owned structures; call after build(). */
     void attachAuditor(InvariantAuditor &auditor);
+
+    /** Translation counters under canonical names (see obs/). */
+    void translationStats(StatGroup &g);
 
     const DmtNestedFetcher *dmtFetcher() const { return dmt_.get(); }
     const ShadowPager *shadowPager() const { return shadow_.get(); }

@@ -1,7 +1,44 @@
 #include "sim/translation_sim.hh"
 
+#include "common/log.hh"
+#include "obs/event.hh"
+
 namespace dmt
 {
+
+namespace
+{
+
+std::uint8_t
+narrow8(std::uint32_t v)
+{
+    DMT_ASSERT(v <= 0xff, "event field %u overflows a byte", v);
+    return static_cast<std::uint8_t>(v);
+}
+
+std::uint16_t
+narrow16(std::uint64_t v)
+{
+    DMT_ASSERT(v <= 0xffff,
+               "event field %llu overflows 16 bits",
+               static_cast<unsigned long long>(v));
+    return static_cast<std::uint16_t>(v);
+}
+
+/** Copy the per-access cache tally into the event record. */
+void
+fillTally(obs::TranslationEvent &ev, const CacheTally &tally)
+{
+    ev.l1dHits = narrow8(tally.l1dHits);
+    ev.l1dMisses = narrow8(tally.l1dMisses);
+    ev.l2Hits = narrow8(tally.l2Hits);
+    ev.l2Misses = narrow8(tally.l2Misses);
+    ev.llcHits = narrow8(tally.llcHits);
+    ev.llcMisses = narrow8(tally.llcMisses);
+    ev.memAccesses = narrow8(tally.memAccesses);
+}
+
+} // namespace
 
 TranslationSimulator::TranslationSimulator(
     TranslationMechanism &mechanism, TlbHierarchy &tlbs,
@@ -13,14 +50,36 @@ TranslationSimulator::TranslationSimulator(
 SimResult
 TranslationSimulator::run(TraceSource &trace, const SimConfig &config)
 {
+    return sink_ ? runImpl<true>(trace, config)
+                 : runImpl<false>(trace, config);
+}
+
+template <bool kTrace>
+SimResult
+TranslationSimulator::runImpl(TraceSource &trace,
+                              const SimConfig &config)
+{
     SimResult result;
-    mechanism_.recordSteps(config.recordSteps);
+    // Traced runs always record steps so events carry the per-step
+    // walk breakdown; the untraced path honours the config as before.
+    mechanism_.recordSteps(kTrace || config.recordSteps);
+    CacheTally tally;
+    static const std::vector<WalkStepCost> kNoSteps;
+    if constexpr (kTrace)
+        caches_.setEventTally(&tally);
     const std::uint64_t total =
         config.warmupAccesses + config.measureAccesses;
     for (std::uint64_t i = 0; i < total; ++i) {
         const bool measuring = i >= config.warmupAccesses;
         const Addr va = trace.next();
-        const auto tlb = tlbs_.lookupData(va);
+        PageSize hitSize = PageSize::Size4K;
+        TlbHierarchy::Result tlb;
+        if constexpr (kTrace) {
+            tally.reset();
+            tlb = tlbs_.lookupData(va, &hitSize);
+        } else {
+            tlb = tlbs_.lookupData(va);
+        }
 
         if (measuring) {
             ++result.accesses;
@@ -60,12 +119,70 @@ TranslationSimulator::run(TraceSource &trace, const SimConfig &config)
             }
             // The data access, at the walked physical address.
             caches_.access(rec.pa);
+            if constexpr (kTrace) {
+                obs::TranslationEvent ev;
+                ev.accessId = i;
+                ev.va = va;
+                ev.pa = rec.pa;
+                DMT_ASSERT(rec.latency <= 0xffffffffull,
+                           "walk latency overflows the event record");
+                ev.walkCycles =
+                    static_cast<std::uint32_t>(rec.latency);
+                ev.seqRefs = narrow16(
+                    static_cast<std::uint64_t>(rec.seqRefs));
+                ev.parallelRefs = narrow16(
+                    static_cast<std::uint64_t>(rec.parallelRefs));
+                ev.tlb = static_cast<std::uint8_t>(
+                    obs::TlbLevel::Miss);
+                ev.path = static_cast<std::uint8_t>(
+                    obs::eventPathOf(rec.path));
+                ev.pageSize = static_cast<std::uint8_t>(rec.size);
+                ev.pwcStartLevel = rec.pwcStartLevel;
+                ev.pwcHits = rec.pwcHits;
+                ev.pwcMisses = rec.pwcMisses;
+                ev.nestedPwcHits = rec.nestedPwcHits;
+                ev.nestedPwcMisses = rec.nestedPwcMisses;
+                ev.nestedWalks = rec.nestedWalks;
+                ev.dmtProbes = rec.dmtProbes;
+                ev.dmtFaults = rec.dmtFaults;
+                ev.flags = static_cast<std::uint8_t>(
+                    (measuring ? obs::kEventMeasured : 0) |
+                    (rec.gteaPath ? obs::kEventGtea : 0) |
+                    (rec.fellBack ? obs::kEventFellBack : 0));
+                fillTally(ev, tally);
+                sink_->emit(ev, rec.steps);
+            }
         } else {
             // Data access via the functional translation.
-            caches_.access(mechanism_.resolve(va));
+            const Addr pa = mechanism_.resolve(va);
+            caches_.access(pa);
+            if constexpr (kTrace) {
+                obs::TranslationEvent ev;
+                ev.accessId = i;
+                ev.va = va;
+                ev.pa = pa;
+                ev.tlb = static_cast<std::uint8_t>(
+                    tlb == TlbHierarchy::Result::L1Hit
+                        ? obs::TlbLevel::L1
+                        : obs::TlbLevel::Stlb);
+                ev.path = static_cast<std::uint8_t>(
+                    obs::EventPath::TlbHit);
+                ev.pageSize = static_cast<std::uint8_t>(hitSize);
+                ev.flags = measuring ? obs::kEventMeasured : 0;
+                fillTally(ev, tally);
+                sink_->emit(ev, kNoSteps);
+            }
         }
     }
+    if constexpr (kTrace)
+        caches_.setEventTally(nullptr);
     return result;
 }
+
+template SimResult
+TranslationSimulator::runImpl<false>(TraceSource &,
+                                     const SimConfig &);
+template SimResult
+TranslationSimulator::runImpl<true>(TraceSource &, const SimConfig &);
 
 } // namespace dmt

@@ -24,6 +24,11 @@
 namespace dmt
 {
 
+namespace obs
+{
+class EventSink;
+}
+
 /** A source of virtual addresses (one per memory access). */
 class TraceSource
 {
@@ -95,10 +100,22 @@ class TranslationSimulator
     /** Run warmup + measurement over the trace. */
     SimResult run(TraceSource &trace, const SimConfig &config);
 
+    /**
+     * Attach (nullptr to detach) an event sink receiving one
+     * TranslationEvent per simulated access. The hot loop is
+     * instantiated separately for the traced and untraced cases, so
+     * running without a sink costs nothing.
+     */
+    void setEventSink(obs::EventSink *sink) { sink_ = sink; }
+
   private:
+    template <bool kTrace>
+    SimResult runImpl(TraceSource &trace, const SimConfig &config);
+
     TranslationMechanism &mechanism_;
     TlbHierarchy &tlbs_;
     MemoryHierarchy &caches_;
+    obs::EventSink *sink_ = nullptr;
 };
 
 } // namespace dmt

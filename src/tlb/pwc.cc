@@ -47,12 +47,12 @@ PageWalkCache::lookup(Addr va, int root_level, Pfn root_pfn)
             if (e.valid && e.tag == tag) {
                 e.lastUse = tick_;
                 ++hits_;
-                return {t, e.pfn};
+                return {t, e.pfn, true};
             }
         }
     }
     ++misses_;
-    return {root_level, root_pfn};
+    return {root_level, root_pfn, false};
 }
 
 void

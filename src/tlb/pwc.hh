@@ -44,6 +44,10 @@ struct PwcHit
     int startLevel;
     /** Frame of the table holding that PTE (root frame on miss). */
     Pfn tablePfn;
+    /** Whether a cached pointer was found. Mirrors exactly which of
+     *  hits()/misses() the lookup bumped, so walkers can annotate
+     *  per-walk event records without re-deriving it from levels. */
+    bool hit = false;
 };
 
 /** Three-level page walk cache. */

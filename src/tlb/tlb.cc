@@ -281,6 +281,27 @@ TlbHierarchy::lookupData(Addr va)
     return Result::Miss;
 }
 
+TlbHierarchy::Result
+TlbHierarchy::lookupData(Addr va, PageSize *size_out)
+{
+    // Kept separate from the plain overload so the tracing-off hot
+    // path carries no extra null check. Counter behaviour must stay
+    // identical: exactly one lookup per probed level.
+    if (const auto size = l1d_.lookup(va)) {
+        if (size_out)
+            *size_out = *size;
+        return Result::L1Hit;
+    }
+    if (const auto size = stlb_.lookup(va)) {
+        l1d_.insert(va, *size);
+        DMT_AUDIT_EVENT(auditor_);
+        if (size_out)
+            *size_out = *size;
+        return Result::L2Hit;
+    }
+    return Result::Miss;
+}
+
 void
 TlbHierarchy::insertData(Addr va, PageSize size)
 {

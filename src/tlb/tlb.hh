@@ -147,6 +147,13 @@ class TlbHierarchy
     /** Probe L1D then the STLB. An STLB hit refills the L1D. */
     Result lookupData(Addr va);
 
+    /**
+     * Like lookupData(), but also reports the hit entry's page size
+     * through `size_out` (untouched on a full miss; may be null).
+     * Used by the event tracer to annotate TLB-hit events.
+     */
+    Result lookupData(Addr va, PageSize *size_out);
+
     /** Install a completed translation into L1D and STLB. */
     void insertData(Addr va, PageSize size);
 

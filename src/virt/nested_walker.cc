@@ -69,6 +69,11 @@ NestedWalker::hostWalk(Addr gpa, WalkRecord &rec)
         hva, hostPt_.levels(),
         static_cast<Pfn>(hostPt_.rootPa() >> pageShift));
     rec.latency += nestedPwc_.latency();
+    ++rec.nestedWalks;
+    if (hit.hit)
+        ++rec.nestedPwcHits;
+    else
+        ++rec.nestedPwcMisses;
     for (const auto &step : path) {
         if (step.level > hit.startLevel)
             continue;
@@ -81,7 +86,7 @@ NestedWalker::hostWalk(Addr gpa, WalkRecord &rec)
                                  : -1;
             rec.steps.push_back(
                 {'h', static_cast<std::int8_t>(step.level), cost,
-                 static_cast<std::int8_t>(slot)});
+                 static_cast<std::int8_t>(slot), step.pteAddr});
         }
         if (step.level > 1 && !pteIsHuge(step.pte))
             nestedPwc_.fill(hva, step.level - 1, ptePfn(step.pte));
@@ -100,6 +105,7 @@ WalkRecord
 NestedWalker::walk(Addr gva)
 {
     WalkRecord rec;
+    rec.path = TranslationPath::Nested;
     const auto gpath = guestPt_.walkPath(gva);
     DMT_ASSERT(pteIsPresent(gpath.back().pte),
                "guest page fault during nested walk (gva 0x%llx)",
@@ -110,6 +116,11 @@ NestedWalker::walk(Addr gva)
     const auto ghit =
         guestPwc_.lookup(gva, guestPt_.levels(), /*root_pfn=*/0);
     rec.latency += guestPwc_.latency();
+    rec.pwcStartLevel = static_cast<std::int8_t>(ghit.startLevel);
+    if (ghit.hit)
+        ++rec.pwcHits;
+    else
+        ++rec.pwcMisses;
     const bool pwcHit = ghit.startLevel < guestPt_.levels();
 
     for (const auto &step : gpath) {
@@ -134,7 +145,8 @@ NestedWalker::walk(Addr gva)
         if (recordSteps_)
             rec.steps.push_back(
                 {'g', static_cast<std::int8_t>(step.level), cost,
-                 static_cast<std::int8_t>(5 * (4 - step.level) + 5)});
+                 static_cast<std::int8_t>(5 * (4 - step.level) + 5),
+                 pteHpa});
     }
 
     // Final host walk for the data page's guest-physical address.

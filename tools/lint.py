@@ -5,11 +5,11 @@ Rules (see DESIGN.md, "Correctness tooling"):
 
   naked-new       no `new` outside smart-pointer factories; owning
                   raw pointers have no place in the simulator
-                  (scanned: src/, tests/, examples/)
+                  (scanned: src/, tests/, examples/, tools/)
   banned-random   no rand()/srand()/raw <random> engines outside
                   src/common/rng.hh — seeded reproducibility is part
                   of the experiment contract
-                  (scanned: src/, tests/, examples/)
+                  (scanned: src/, tests/, examples/, tools/)
   include-guard   every header under src/ carries the canonical
                   DMT_<PATH>_HH guard
   raw-logging     no printf/fprintf/iostream output in src/ — use
@@ -26,7 +26,7 @@ from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
 
-CODE_DIRS = ["src", "tests", "examples"]
+CODE_DIRS = ["src", "tests", "examples", "tools"]
 CODE_SUFFIXES = {".cc", ".hh", ".cpp", ".hpp"}
 
 # printf & friends are the whole point of these files.
