@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Deterministic iteration over unordered associative containers.
+ *
+ * Iterating a std::unordered_map/set visits elements in an order
+ * that depends on hashing, insertion history, and the standard
+ * library build — anywhere that order can reach stats, reports,
+ * serialization, event streams, or allocator state it breaks the
+ * byte-identical experiment contract (dmtlint rule
+ * `nondet-iteration`). The sanctioned pattern is: copy the keys,
+ * sort them, then index the container.
+ */
+
+#ifndef DMT_COMMON_ORDERED_HH
+#define DMT_COMMON_ORDERED_HH
+
+#include <algorithm>
+#include <vector>
+
+namespace dmt
+{
+
+/**
+ * @return the container's keys in ascending order. The only place
+ * the unhashed iteration order is observable is the transient
+ * vector built here, which is sorted before it is returned.
+ */
+template <typename Map>
+std::vector<typename Map::key_type>
+sortedKeys(const Map &map)
+{
+    std::vector<typename Map::key_type> keys;
+    keys.reserve(map.size());
+    for (const auto &entry : map)
+        keys.push_back(entry.first);
+    std::sort(keys.begin(), keys.end());
+    return keys;
+}
+
+} // namespace dmt
+
+#endif // DMT_COMMON_ORDERED_HH

@@ -136,6 +136,8 @@ runCell(Workload &workload, CampaignEnv env, Design design,
         std::uint64_t seed, bool record_steps,
         const std::string &events_path)
 {
+    // dmtlint: allow(wall-clock) -- timing sidecar: wallSeconds only
+    // ever reaches emitTimingJson, never the deterministic report
     const auto start = std::chrono::steady_clock::now();
     SimConfig cfg = sim_config;
     cfg.recordSteps = record_steps;
@@ -219,6 +221,7 @@ runCell(Workload &workload, CampaignEnv env, Design design,
       }
     }
     const std::chrono::duration<double> elapsed =
+        // dmtlint: allow(wall-clock) -- timing sidecar, see above
         std::chrono::steady_clock::now() - start;
     out.wallSeconds = elapsed.count();
     out.accessesPerSec =

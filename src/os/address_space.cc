@@ -1,6 +1,7 @@
 #include "os/address_space.hh"
 
 #include "common/log.hh"
+#include "common/ordered.hh"
 
 namespace dmt
 {
@@ -14,10 +15,13 @@ AddressSpace::AddressSpace(Memory &mem, BuddyAllocator &allocator,
 
 AddressSpace::~AddressSpace()
 {
-    // Free data frames before the page table tears itself down.
-    for (const auto &[pfn, where] : frameToVa_) {
+    // Free data frames before the page table tears itself down, in
+    // sorted frame order: the release order shapes the buddy free
+    // lists, which later allocations (and thus every downstream
+    // counter) observe.
+    for (const Pfn pfn : sortedKeys(frameToVa_)) {
         const int order =
-            where.second == PageSize::Size2M ? 9 : 0;
+            frameToVa_.at(pfn).second == PageSize::Size2M ? 9 : 0;
         allocator_.freePages(pfn, order);
     }
     frameToVa_.clear();

@@ -2,6 +2,7 @@
 
 #include "check/audit.hh"
 #include "common/log.hh"
+#include "common/ordered.hh"
 
 namespace dmt
 {
@@ -524,7 +525,10 @@ RadixPageTable::audit(AuditSink &sink) const
                     "%llu",
                     static_cast<unsigned long long>(leaves),
                     static_cast<unsigned long long>(mappedLeaves_));
-    for (const auto &[pfn, where] : providerOwned_) {
+    // Sorted sweep: violation reports are output, and their order
+    // must not depend on the hash layout of providerOwned_.
+    for (const Pfn pfn : sortedKeys(providerOwned_)) {
+        const auto &where = providerOwned_.at(pfn);
         const auto it = seen.find(pfn);
         if (it == seen.end()) {
             sink.fail("provider-owned frame 0x%llx (level %d) is not "

@@ -658,6 +658,38 @@ addFetcherStats(StatGroup &g, const FetcherStats &s)
     setCounter(g, "dmt.isolation_faults", s.isolationFaults);
 }
 
+// TEA/mapping management counters. Deliberately a separate surface
+// from translationStats(): management operations are not per-access
+// events, so these keys must never enter the event-replay
+// (events_check) differential contract. Registering every field
+// here is what the dmtlint `stat-registration` rule checks for.
+
+void
+addTeaStats(StatGroup &g, const std::string &prefix,
+            const TeaManager *mgr)
+{
+    const TeaStats s = mgr ? mgr->stats() : TeaStats{};
+    setCounter(g, prefix + ".creates", s.creates);
+    setCounter(g, prefix + ".deletes", s.deletes);
+    setCounter(g, prefix + ".expands_in_place", s.expandsInPlace);
+    setCounter(g, prefix + ".migrations", s.migrations);
+    setCounter(g, prefix + ".migrated_table_pages",
+               s.migratedTablePages);
+    setCounter(g, prefix + ".alloc_failures", s.allocFailures);
+    setCounter(g, prefix + ".adopted_tables", s.adoptedTables);
+}
+
+void
+addMappingStats(StatGroup &g, const std::string &prefix,
+                const MappingManager *mgr)
+{
+    const MappingStats s = mgr ? mgr->stats() : MappingStats{};
+    setCounter(g, prefix + ".reconciles", s.reconciles);
+    setCounter(g, prefix + ".merges", s.merges);
+    setCounter(g, prefix + ".splits", s.splits);
+    setCounter(g, prefix + ".uncovered", s.uncovered);
+}
+
 } // namespace
 
 void
@@ -718,6 +750,33 @@ NestedTestbed::translationStats(StatGroup &g)
     addPwcStats(g, "pwc.guest", guestHits, guestMisses);
     addPwcStats(g, "pwc.nested", nestedHits, nestedMisses);
     addFetcherStats(g, dmt_ ? dmt_->stats() : FetcherStats{});
+}
+
+void
+NativeTestbed::managementStats(StatGroup &g)
+{
+    addTeaStats(g, "tea", teaMgr_.get());
+    addMappingStats(g, "mapping", mapMgr_.get());
+}
+
+void
+VirtTestbed::managementStats(StatGroup &g)
+{
+    addTeaStats(g, "tea.host", hostTeaMgr_.get());
+    addMappingStats(g, "mapping.host", hostMapMgr_.get());
+    addTeaStats(g, "tea.guest", guestTeaMgr_.get());
+    addMappingStats(g, "mapping.guest", guestMapMgr_.get());
+}
+
+void
+NestedTestbed::managementStats(StatGroup &g)
+{
+    addTeaStats(g, "tea.l0", l0TeaMgr_.get());
+    addMappingStats(g, "mapping.l0", l0MapMgr_.get());
+    addTeaStats(g, "tea.l1", l1TeaMgr_.get());
+    addMappingStats(g, "mapping.l1", l1MapMgr_.get());
+    addTeaStats(g, "tea.l2", l2TeaMgr_.get());
+    addMappingStats(g, "mapping.l2", l2MapMgr_.get());
 }
 
 } // namespace dmt

@@ -126,6 +126,15 @@ class NativeTestbed
      */
     void translationStats(StatGroup &g);
 
+    /**
+     * TEA/mapping management counters (creates, deletes, migrations,
+     * reconciles, ...) under `tea.*` / `mapping.*` names. A separate
+     * surface from translationStats() on purpose: management
+     * operations are not per-access events, so these keys stay out
+     * of the event-replay differential contract (obs/replay.hh).
+     */
+    void managementStats(StatGroup &g);
+
     const DmtNativeFetcher *dmtFetcher() const { return dmt_.get(); }
     TeaManager *teaManager() { return teaMgr_.get(); }
     MappingManager *mappingManager() { return mapMgr_.get(); }
@@ -182,6 +191,9 @@ class VirtTestbed
 
     /** Translation counters under canonical names (see obs/). */
     void translationStats(StatGroup &g);
+
+    /** Host+guest `tea.*` / `mapping.*` management counters. */
+    void managementStats(StatGroup &g);
 
     const DmtVirtFetcher *dmtFetcher() const { return dmt_.get(); }
     const ShadowPager *shadowPager() const { return shadow_.get(); }
@@ -251,6 +263,9 @@ class NestedTestbed
 
     /** Translation counters under canonical names (see obs/). */
     void translationStats(StatGroup &g);
+
+    /** L0/L1/L2 `tea.*` / `mapping.*` management counters. */
+    void managementStats(StatGroup &g);
 
     const DmtNestedFetcher *dmtFetcher() const { return dmt_.get(); }
     const ShadowPager *shadowPager() const { return shadow_.get(); }

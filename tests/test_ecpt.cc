@@ -31,6 +31,8 @@ TEST(Ecpt, InsertAndFindManyRandomKeys)
         truth[vpn] = pfn;
         ecpt.insert(vpn << pageShift, pfn, PageSize::Size4K);
     }
+    // dmtlint: allow(nondet-iteration) -- order-independent EXPECTs
+    // over a test-local truth map; no order reaches any output
     for (const auto &[vpn, pfn] : truth) {
         const auto hit = ecpt.find(vpn << pageShift);
         ASSERT_TRUE(hit.has_value()) << "vpn " << vpn;

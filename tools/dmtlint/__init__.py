@@ -1,0 +1,6 @@
+"""dmtlint: the DMT repository's determinism static-analysis pass.
+
+See engine.py for the rule/suppression machinery, rules.py for the
+contracts, cli.py for the entry point, and fixtures/ + selftest.py
+for the rule regression suite (`ctest -L lint`).
+"""

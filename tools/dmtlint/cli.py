@@ -1,0 +1,63 @@
+"""dmtlint command line.
+
+    python3 tools/lint.py [--json FILE] [--root DIR] [--list-rules]
+
+Runs every registered rule over src/, tests/, examples/, tools/ and
+bench/ (C/C++ sources, `.h` included, plus CMakeLists.txt for the
+rules that opt in), applies inline suppressions, and reports.
+
+Exit status: 0 clean, 1 diagnostics found.
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+from engine import Engine, discover, emit_json, report
+from rules import ALL_RULES
+
+
+def default_root():
+    return Path(__file__).resolve().parent.parent.parent
+
+
+def build_engine():
+    return Engine(ALL_RULES)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="dmtlint", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--root", type=Path, default=default_root(),
+                        help="repository root to scan")
+    parser.add_argument("--json", metavar="FILE", default=None,
+                        help="write a dmt-lint-v1 JSON report "
+                             "('-' for stdout)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule registry and exit")
+    args = parser.parse_args(argv)
+
+    engine = build_engine()
+    if args.list_rules:
+        width = max(len(r.name) for r in engine.rules)
+        for rule in sorted(engine.rules, key=lambda r: r.name):
+            print(f"{rule.name:<{width}}  {rule.contract}")
+        return 0
+
+    tree = discover(args.root)
+    diagnostics, suppressions = engine.run(tree)
+
+    if args.json is not None:
+        if args.json == "-":
+            emit_json(sys.stdout, args.root, engine.rules,
+                      diagnostics, suppressions)
+        else:
+            with open(args.json, "w", encoding="utf-8") as fp:
+                emit_json(fp, args.root, engine.rules, diagnostics,
+                          suppressions)
+    return report(diagnostics)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,17 @@
+#ifndef DMT_DEAF_HH
+#define DMT_DEAF_HH
+
+class AuditSink;
+class InvariantAuditor;
+
+/** Holds an auditor pointer but can never be attached to one. */
+class Deaf
+{
+  public:
+    void audit(AuditSink &sink) const; // want: audit-registration
+
+  private:
+    InvariantAuditor *auditor_ = nullptr; // want: audit-registration
+};
+
+#endif // DMT_DEAF_HH

@@ -1,0 +1,13 @@
+#ifndef DMT_EMBEDDED_HH
+#define DMT_EMBEDDED_HH
+
+class AuditSink;
+
+/** Audited via an owner that registers a hook on its behalf. */
+class Embedded
+{
+  public:
+    void audit(AuditSink &sink) const;
+};
+
+#endif // DMT_EMBEDDED_HH

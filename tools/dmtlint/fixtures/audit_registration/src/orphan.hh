@@ -1,0 +1,22 @@
+#ifndef DMT_ORPHAN_HH
+#define DMT_ORPHAN_HH
+
+class AuditSink;
+
+/** Declares audit() but nothing ever registers it: dead checks. */
+class Orphan
+{
+  public:
+    void audit(AuditSink &sink) const; // want: audit-registration
+};
+
+/** Same shape, but justified. */
+class Tooling
+{
+  public:
+    // dmtlint: allow(audit-registration) -- fixture: invoked
+    // directly by an offline tool, not by interval sweeps
+    void audit(AuditSink &sink) const;
+};
+
+#endif // DMT_ORPHAN_HH

@@ -1,0 +1,14 @@
+// Fixture: the registerHook owner that wires Embedded's audit().
+#include "embedded.hh"
+
+struct FakeAuditor
+{
+    template <typename F> void registerHook(const char *, F) {}
+};
+
+void
+wire(FakeAuditor &auditor, const Embedded &part)
+{
+    auditor.registerHook("embedded",
+                         [&part](AuditSink &sink) { part.audit(sink); });
+}

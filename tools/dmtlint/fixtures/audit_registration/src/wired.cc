@@ -1,0 +1,16 @@
+#include "wired.hh"
+
+#define DMT_AUDIT_EVENT(a) ((void)0)
+
+void
+Wired::audit(AuditSink &sink) const
+{
+    (void)sink;
+}
+
+void
+Wired::attachAuditor(InvariantAuditor &auditor)
+{
+    auditor_ = &auditor;
+    DMT_AUDIT_EVENT(auditor_);
+}

@@ -1,0 +1,18 @@
+#ifndef DMT_WIRED_HH
+#define DMT_WIRED_HH
+
+class AuditSink;
+class InvariantAuditor;
+
+/** Self-registering: attachAuditor declared, events ticked in .cc. */
+class Wired
+{
+  public:
+    void audit(AuditSink &sink) const;
+    void attachAuditor(InvariantAuditor &auditor);
+
+  private:
+    InvariantAuditor *auditor_ = nullptr;
+};
+
+#endif // DMT_WIRED_HH

@@ -1,0 +1,20 @@
+// Fixture: banned-random fires on raw <random> engines and libc
+// rand(); a suppression with a reason silences it.
+#include <cstdlib>
+#include <random>
+
+int
+roll()
+{
+    std::mt19937_64 gen(1234); // want: banned-random
+    return rand() % 6;         // want: banned-random
+}
+
+int
+justified()
+{
+    // dmtlint: allow(banned-random) -- fixture: exercising the
+    // engine itself
+    std::minstd_rand0 gen(1);
+    return static_cast<int>(gen());
+}

@@ -1,0 +1,9 @@
+#ifndef DMT_GOOD_HH
+#define DMT_GOOD_HH
+
+struct Good
+{
+    int x = 0;
+};
+
+#endif // DMT_GOOD_HH

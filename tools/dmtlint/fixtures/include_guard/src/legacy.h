@@ -1,0 +1,6 @@
+// dmtlint: allow-file(include-guard) -- fixture: vendored header
+// kept byte-identical to upstream
+struct Legacy
+{
+    int x = 0;
+};

@@ -1,0 +1,5 @@
+// a plain .h file cannot dodge the scan -- want: include-guard
+struct Missing
+{
+    int x = 0;
+};

@@ -1,0 +1,9 @@
+#ifndef WRONG_GUARD_HH // want: include-guard
+#define WRONG_GUARD_HH
+
+struct Wrong
+{
+    int x = 0;
+};
+
+#endif // WRONG_GUARD_HH

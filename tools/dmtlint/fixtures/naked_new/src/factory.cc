@@ -1,0 +1,16 @@
+// Fixture: naked-new fires on owning raw allocations and respects
+// an inline suppression.
+
+int *
+leak()
+{
+    return new int(42); // want: naked-new
+}
+
+int *
+justified()
+{
+    // dmtlint: allow(naked-new) -- fixture: ownership handed to a
+    // C API that frees it
+    return new int(7);
+}

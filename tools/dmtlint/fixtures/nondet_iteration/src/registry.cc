@@ -1,0 +1,38 @@
+// Fixture: nondet-iteration sees members declared in the unit's
+// header, range-for and explicit iterator loops, and suppressions.
+#include "registry.hh"
+
+#include <unordered_set>
+
+void
+Registry::dump() const
+{
+    for (const auto &[key, value] : entries_) { // want: nondet-iteration
+        (void)key;
+        (void)value;
+    }
+}
+
+int
+localIteration()
+{
+    std::unordered_set<int> pending{1, 2, 3};
+    int sum = 0;
+    for (auto it = pending.begin(); it != pending.end(); ++it) // want: nondet-iteration
+        sum += *it;
+    if (pending.find(2) != pending.end()) // lookups are fine
+        ++sum;
+    return sum;
+}
+
+int
+justified()
+{
+    std::unordered_set<int> keys{1, 2, 3};
+    int sum = 0;
+    // dmtlint: allow(nondet-iteration) -- fixture: keys are summed,
+    // a commutative reduction; order cannot escape
+    for (const int k : keys)
+        sum += k;
+    return sum;
+}

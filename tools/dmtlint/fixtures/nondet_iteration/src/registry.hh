@@ -1,0 +1,13 @@
+#ifndef DMT_REGISTRY_HH
+#define DMT_REGISTRY_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+struct Registry
+{
+    std::unordered_map<std::uint64_t, int> entries_;
+    void dump() const;
+};
+
+#endif // DMT_REGISTRY_HH

@@ -1,0 +1,22 @@
+// Fixture: raw-logging fires on printf/iostream output in src/ and
+// respects suppressions; string/comment contents never trigger it.
+#include <cstdio>
+#include <iostream>
+
+void
+shout(const char *msg)
+{
+    printf("%s\n", msg);        // want: raw-logging
+    std::cerr << msg << "\n";   // want: raw-logging
+    // the word printf( inside a comment is fine
+    const char *doc = "printf(fmt, ...) is described here";
+    (void)doc;
+}
+
+void
+justified(const char *msg)
+{
+    // dmtlint: allow(raw-logging) -- fixture: writing a report
+    // stream the log layer must not intercept
+    std::fputs(msg, stdout);
+}

@@ -1,0 +1,29 @@
+// Fixture: shared-mutable-static fires on mutable globals and
+// function-local statics; const/constexpr/functions are fine.
+#include <atomic>
+#include <string>
+
+static int hitCount = 0; // want: shared-mutable-static
+static std::string lastName; // want: shared-mutable-static
+thread_local int perThreadScratch = 0; // want: shared-mutable-static
+
+static constexpr int kLimit = 64;
+static const char *const kName = "dmt";
+
+static int
+helper(int x)
+{
+    static bool warnedOnce = false; // want: shared-mutable-static
+    if (!warnedOnce && x > kLimit)
+        warnedOnce = true;
+    return x + hitCount;
+}
+
+int
+justified()
+{
+    // dmtlint: allow(shared-mutable-static) -- fixture: process-wide
+    // interned table, guarded by a mutex at every use
+    static std::atomic<int> interned{0};
+    return interned.load() + helper(1);
+}

@@ -1,0 +1,8 @@
+// Fixture: the registration site that keeps PumpStats.strokes alive.
+#include "pump.hh"
+
+Counter
+exportStrokes(const Pump &pump)
+{
+    return pump.stats().strokes;
+}

@@ -1,0 +1,26 @@
+#ifndef DMT_PUMP_HH
+#define DMT_PUMP_HH
+
+#include <cstdint>
+
+using Counter = std::uint64_t;
+
+struct PumpStats
+{
+    Counter strokes = 0;   //!< exported below: fine
+    Counter stalls = 0;    // want: stat-registration
+    // dmtlint: allow(stat-registration) -- fixture: debug-only
+    // counter, intentionally outside the snapshot surface
+    Counter debugTicks = 0;
+};
+
+class Pump
+{
+  public:
+    const PumpStats &stats() const { return stats_; }
+
+  private:
+    PumpStats stats_;
+};
+
+#endif // DMT_PUMP_HH

@@ -1,0 +1,28 @@
+// Fixture: the suppression machinery is itself checked — missing
+// reasons, unknown rules, and suppressions matching nothing are all
+// errors (see expect.txt for the line-anchored expectations; the
+// markers cannot live inline on suppression lines).
+
+int *
+coveredByFileAllow()
+{
+    return new int(1);
+}
+
+int *
+alsoCovered()
+{
+    return new int(2);
+}
+
+// dmtlint: allow-file(naked-new) -- fixture: whole-file allow covers
+// both allocations above
+
+// dmtlint: allow(wall-clock) -- fixture: nothing here reads a clock
+int unusedSuppressionAnchor = 0;
+
+// dmtlint: allow(no-such-rule) -- reason present but rule unknown
+int unknownRuleAnchor = 0;
+
+// dmtlint: allow(banned-random)
+int missingReasonAnchor = 0;

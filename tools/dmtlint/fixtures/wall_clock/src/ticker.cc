@@ -1,0 +1,31 @@
+// Fixture: wall-clock fires on host-time reads in src/; simulated
+// time and suppressed sidecar timing are fine.
+#include <chrono>
+#include <ctime>
+
+double
+elapsed()
+{
+    const auto t0 = std::chrono::steady_clock::now(); // want: wall-clock
+    const std::time_t stamp = time(nullptr); // want: wall-clock
+    (void)stamp;
+    const auto t1 = std::chrono::system_clock::now(); // want: wall-clock
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+std::uint64_t
+simulatedTime(std::uint64_t cycles)
+{
+    // names that merely contain the token are not wall-clock reads
+    std::uint64_t walltime = cycles;
+    return walltime; // runtime(cycles) would also be fine
+}
+
+double
+sidecar()
+{
+    // dmtlint: allow(wall-clock) -- fixture: timing sidecar, never
+    // reaches the deterministic report
+    const auto t = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t.time_since_epoch()).count();
+}

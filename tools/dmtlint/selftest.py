@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""dmtlint self-test: run the engine over each fixture tree and
+compare against the expected diagnostics embedded in the fixtures.
+
+Expectations come from two places:
+
+  * end-of-line markers inside fixture sources:
+        ... offending code ...  // ... want: rule[, rule]
+    (CMake fixtures use `# ... want: rule`);
+  * an optional per-case `expect.txt` with `path:line:rule` lines,
+    for diagnostics that anchor on suppression lines, where an
+    inline marker would corrupt the suppression syntax itself.
+
+A case passes when the engine's surviving diagnostics are exactly
+the expected (path, line, rule) set — missing and unexpected
+findings are both failures, so fixtures double as regression tests
+for false positives.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from engine import Engine, discover  # noqa: E402
+from rules import ALL_RULES  # noqa: E402
+
+MARKER = re.compile(
+    r"want:\s*([a-z][a-z\-]*(?:\s*,\s*[a-z][a-z\-]*)*)\s*$")
+
+
+def expected_for_case(case):
+    expected = set()
+    for path in sorted(case.rglob("*")):
+        if not path.is_file() or path.name == "expect.txt":
+            continue
+        rel = path.relative_to(case).as_posix()
+        for lineno, line in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), 1):
+            m = MARKER.search(line)
+            if not m:
+                continue
+            for rule in m.group(1).split(","):
+                expected.add((rel, lineno, rule.strip()))
+    side = case / "expect.txt"
+    if side.is_file():
+        for raw in side.read_text(encoding="utf-8").splitlines():
+            raw = raw.strip()
+            if not raw or raw.startswith("#"):
+                continue
+            rel, lineno, rule = raw.rsplit(":", 2)
+            expected.add((rel, int(lineno), rule))
+    return expected
+
+
+def run_case(case):
+    engine = Engine(ALL_RULES)
+    diagnostics, _ = engine.run(discover(case))
+    got = {(d.path, d.line, d.rule) for d in diagnostics}
+    want = expected_for_case(case)
+    missing = sorted(want - got)
+    unexpected = sorted(got - want)
+    if not missing and not unexpected:
+        print(f"PASS {case.name} ({len(want)} diagnostics)")
+        return True
+    print(f"FAIL {case.name}")
+    for path, line, rule in missing:
+        print(f"  missing    {path}:{line}: [{rule}]")
+    for path, line, rule in unexpected:
+        print(f"  unexpected {path}:{line}: [{rule}]")
+    return False
+
+
+def main():
+    fixtures = Path(__file__).resolve().parent / "fixtures"
+    cases = sorted(p for p in fixtures.iterdir() if p.is_dir())
+    if not cases:
+        print("selftest: no fixture cases found", file=sys.stderr)
+        return 1
+    covered = set()
+    ok = True
+    for case in cases:
+        if not run_case(case):
+            ok = False
+        covered |= {rule for _, _, rule in expected_for_case(case)}
+    # Every registered rule must be exercised by at least one fixture.
+    all_rules = {r.name for r in ALL_RULES}
+    all_rules |= {"bad-suppression", "stale-suppression"}
+    unexercised = sorted(all_rules - covered)
+    if unexercised:
+        print(f"FAIL coverage: no fixture fires {unexercised}")
+        ok = False
+    if ok:
+        print(f"selftest: {len(cases)} case(s) pass, "
+              f"{len(all_rules)} rule(s) exercised")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

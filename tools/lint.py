@@ -1,131 +1,20 @@
 #!/usr/bin/env python3
-"""Repository lint: house rules the compiler does not enforce.
+"""Compatibility entry point: forwards to tools/dmtlint/.
 
-Rules (see DESIGN.md, "Correctness tooling"):
+The original four-rule regex lint grew into a rule-registry engine
+with determinism rules, inline suppressions, JSON reports, and a
+fixture self-test suite. See tools/dmtlint/ and DESIGN.md
+("Correctness tooling"). All flags are forwarded:
 
-  naked-new       no `new` outside smart-pointer factories; owning
-                  raw pointers have no place in the simulator
-                  (scanned: src/, tests/, examples/, tools/)
-  banned-random   no rand()/srand()/raw <random> engines outside
-                  src/common/rng.hh — seeded reproducibility is part
-                  of the experiment contract
-                  (scanned: src/, tests/, examples/, tools/)
-  include-guard   every header under src/ carries the canonical
-                  DMT_<PATH>_HH guard
-  raw-logging     no printf/fprintf/iostream output in src/ — use
-                  common/log.hh (inform/warn/fatal/panic) so verbosity
-                  and fatal behaviour stay centrally controlled
-                  (string formatting via [v]snprintf is fine)
-
-Exit status: 0 clean, 1 violations found.
+    python3 tools/lint.py [--json FILE] [--list-rules] [--root DIR]
 """
 
-import re
 import sys
 from pathlib import Path
 
-REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(Path(__file__).resolve().parent / "dmtlint"))
 
-CODE_DIRS = ["src", "tests", "examples", "tools"]
-CODE_SUFFIXES = {".cc", ".hh", ".cpp", ".hpp"}
-
-# printf & friends are the whole point of these files.
-RAW_LOGGING_ALLOWED = {
-    Path("src/common/log.hh"),
-    Path("src/common/log.cc"),
-}
-
-# The one place raw <random> engines may live.
-RANDOM_ALLOWED = {Path("src/common/rng.hh")}
-
-NAKED_NEW = re.compile(r"\bnew\b(?!\s*\()")
-BANNED_RANDOM = re.compile(
-    r"\b(?:s?rand\s*\(|random_shuffle\b|std::(?:mt19937(?:_64)?|"
-    r"minstd_rand0?|random_device|default_random_engine)\b)")
-RAW_LOGGING = re.compile(
-    r"(?:\b(?:std::)?(?:printf|fprintf|vprintf|vfprintf|puts|"
-    r"fputs)\s*\(|std::(?:cout|cerr|clog)\b)")
-GUARD = re.compile(r"^#ifndef\s+(\w+)\s*$", re.MULTILINE)
-
-LINE_COMMENT = re.compile(r"//[^\n]*")
-BLOCK_COMMENT = re.compile(r"/\*.*?\*/", re.DOTALL)
-STRING = re.compile(r'"(?:[^"\\\n]|\\.)*"' + r"|'(?:[^'\\\n]|\\.)*'")
-
-
-def strip_noise(text):
-    """Blank out comments and string literals, preserving line
-    numbers so findings still point at the right place."""
-
-    def blank(match):
-        return re.sub(r"[^\n]", " ", match.group(0))
-
-    text = BLOCK_COMMENT.sub(blank, text)
-    text = LINE_COMMENT.sub(blank, text)
-    text = STRING.sub(blank, text)
-    return text
-
-
-def expected_guard(rel):
-    stem = "_".join(rel.with_suffix("").parts).upper()
-    stem = re.sub(r"\W", "_", stem)
-    return f"DMT_{stem}_HH"
-
-
-def scan(root):
-    findings = []
-
-    def report(rel, lineno, rule, message):
-        findings.append(f"{rel}:{lineno}: [{rule}] {message}")
-
-    for dirname in CODE_DIRS:
-        for path in sorted((root / dirname).rglob("*")):
-            if path.suffix not in CODE_SUFFIXES:
-                continue
-            rel = path.relative_to(root)
-            raw = path.read_text(encoding="utf-8")
-            code = strip_noise(raw)
-
-            for lineno, line in enumerate(code.splitlines(), 1):
-                if NAKED_NEW.search(line):
-                    report(rel, lineno, "naked-new",
-                           "use std::make_unique/make_shared, not "
-                           "a naked `new`")
-                if (rel not in RANDOM_ALLOWED
-                        and BANNED_RANDOM.search(line)):
-                    report(rel, lineno, "banned-random",
-                           "use common/rng.hh, not ad-hoc "
-                           "randomness")
-                if (rel.parts[0] == "src"
-                        and rel not in RAW_LOGGING_ALLOWED
-                        and RAW_LOGGING.search(line)):
-                    report(rel, lineno, "raw-logging",
-                           "use common/log.hh "
-                           "(inform/warn/fatal/panic)")
-
-            if rel.parts[0] == "src" and path.suffix == ".hh":
-                match = GUARD.search(code)
-                want = expected_guard(rel.relative_to("src"))
-                if not match:
-                    report(rel, 1, "include-guard",
-                           f"missing include guard {want}")
-                elif match.group(1) != want:
-                    lineno = code[:match.start()].count("\n") + 1
-                    report(rel, lineno, "include-guard",
-                           f"guard {match.group(1)} should be "
-                           f"{want}")
-    return findings
-
-
-def main():
-    findings = scan(REPO)
-    for finding in findings:
-        print(finding)
-    if findings:
-        print(f"lint: {len(findings)} violation(s)", file=sys.stderr)
-        return 1
-    print("lint: clean")
-    return 0
-
+from cli import main  # noqa: E402
 
 if __name__ == "__main__":
     sys.exit(main())
