@@ -28,6 +28,7 @@
 
 #include "common/log.hh"
 #include "common/rng.hh"
+#include "common/stats.hh"
 #include "driver/json.hh"
 #include "mem/memory_hierarchy.hh"
 #include "mem/physical_memory.hh"
@@ -55,12 +56,7 @@ struct BenchResult
     std::uint64_t ops = 0;
     double seconds = 0.0;
 
-    double
-    opsPerSec() const
-    {
-        return seconds > 0.0 ? static_cast<double>(ops) / seconds
-                             : 0.0;
-    }
+    double opsPerSec() const { return safeOpsPerSec(ops, seconds); }
 };
 
 [[noreturn]] void
@@ -215,7 +211,7 @@ benchWalk(const std::string &name, Design design, std::uint64_t ops)
 /** End-to-end trace loop: TLBs + mechanism + caches. */
 BenchResult
 benchEndToEnd(const std::string &name, Design design,
-              std::uint64_t accesses)
+              std::uint64_t accesses, std::uint64_t batch)
 {
     auto workload = makeWorkload("GUPS", kScale);
     NativeTestbed tb(workload->footprintBytes(),
@@ -229,6 +225,7 @@ benchEndToEnd(const std::string &name, Design design,
     SimConfig config;
     config.warmupAccesses = accesses / 5;
     config.measureAccesses = accesses;
+    config.batchSize = batch;
     const auto start = Clock::now();
     const SimResult res = sim.run(*trace, config);
     const std::chrono::duration<double> dt = Clock::now() - start;
@@ -252,9 +249,14 @@ main(int argc, char **argv)
     results.push_back(
         benchWalk("radix.walk", Design::Vanilla, walkOps));
     results.push_back(benchWalk("dmt.fetch", Design::Dmt, walkOps));
+    results.push_back(benchEndToEnd("e2e.vanilla", Design::Vanilla,
+                                    walkOps, kDefaultSimBatch));
+    results.push_back(benchEndToEnd("e2e.dmt", Design::Dmt, walkOps,
+                                    kDefaultSimBatch));
+    results.push_back(benchEndToEnd("e2e.vanilla.scalar",
+                                    Design::Vanilla, walkOps, 1));
     results.push_back(
-        benchEndToEnd("e2e.vanilla", Design::Vanilla, walkOps));
-    results.push_back(benchEndToEnd("e2e.dmt", Design::Dmt, walkOps));
+        benchEndToEnd("e2e.dmt.scalar", Design::Dmt, walkOps, 1));
 
     if (!opt.quiet) {
         std::printf("%-14s %12s %10s %14s\n", "subsystem", "ops",

@@ -5,7 +5,7 @@
  *
  *   dmtsim [--workload NAME] [--design NAME] [--env native|virt|
  *          nested] [--thp] [--scale N] [--accesses N] [--warmup N]
- *          [--seed N] [--audit[=N]] [--json FILE]
+ *          [--seed N] [--batch N] [--audit[=N]] [--json FILE]
  *          [--record-trace FILE | --trace FILE]
  *
  * --json writes the cell's results in the same schema as one entry
@@ -53,6 +53,7 @@ struct Options
     std::uint64_t accesses = 1'000'000;
     std::uint64_t warmup = 200'000;
     std::uint64_t seed = 42;
+    std::uint64_t batch = kDefaultSimBatch;
     std::string recordTrace;
     std::string traceFile;
     std::string jsonOut;
@@ -71,6 +72,7 @@ usage(const char *argv0)
         "pvdmt]\n"
         "          [--env native|virt|nested] [--thp] [--scale N]\n"
         "          [--accesses N] [--warmup N] [--seed N]\n"
+        "          [--batch N (1 = scalar loop)]\n"
         "          [--audit[=N]] [--json FILE] [--events FILE]\n"
         "          [--record-trace FILE] [--trace FILE]\n",
         argv0);
@@ -100,6 +102,11 @@ parse(int argc, char **argv)
             opt.warmup = std::strtoull(value().c_str(), nullptr, 10);
         else if (arg == "--seed")
             opt.seed = std::strtoull(value().c_str(), nullptr, 10);
+        else if (arg == "--batch") {
+            opt.batch = std::strtoull(value().c_str(), nullptr, 10);
+            if (opt.batch == 0)
+                usage(argv[0]);
+        }
         else if (arg == "--json") opt.jsonOut = value();
         else if (arg == "--events") opt.eventsOut = value();
         else if (arg.rfind("--events=", 0) == 0)
@@ -176,6 +183,9 @@ main(int argc, char **argv)
     SimConfig simCfg;
     simCfg.warmupAccesses = opt.warmup;
     simCfg.measureAccesses = opt.accesses;
+    // Result-invariant (asserted by the batch differential suite):
+    // any batch size yields identical counters and event streams.
+    simCfg.batchSize = opt.batch;
 
     auto makeTrace = [&]() -> std::unique_ptr<TraceSource> {
         if (!opt.traceFile.empty())

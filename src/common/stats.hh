@@ -181,6 +181,18 @@ class StatGroup
 /** @return the geometric mean of a list of positive values. */
 double geoMean(const std::vector<double> &values);
 
+/**
+ * Events-per-second over a wall-clock interval, hardened for the
+ * JSON emitters: a zero (or negative, from clock confusion) interval
+ * yields 0.0 rather than inf/NaN, which JSON cannot represent. All
+ * throughput fields the bench/driver emitters write go through this.
+ */
+inline double
+safeOpsPerSec(std::uint64_t ops, double seconds)
+{
+    return seconds > 0.0 ? static_cast<double>(ops) / seconds : 0.0;
+}
+
 } // namespace dmt
 
 #endif // DMT_COMMON_STATS_HH

@@ -10,7 +10,8 @@ namespace dmt
 
 DirectProbe
 directProbe(const DmtRegisterFile &regs, const Memory &mem,
-            MemoryHierarchy &caches, Addr va, const GteaTable *gtable)
+            MemoryHierarchy &caches, Addr va, const GteaTable *gtable,
+            const Memory::ReadWindow *win)
 {
     DirectProbe out;
     const DmtRegister *matches[3];
@@ -43,7 +44,8 @@ directProbe(const DmtRegisterFile &regs, const Memory &mem,
         // when the probe holding the (unique) present leaf returns;
         // losing probes cost bandwidth but their lines are not kept.
         ++out.probes;
-        const std::uint64_t pte = mem.read64(pteAddr);
+        const std::uint64_t pte =
+            win ? win->read(mem, pteAddr) : mem.read64(pteAddr);
         bool winner = pteIsPresent(pte);
         // A 2 MB/1 GB TEA slot can hold a non-leaf (table pointer)
         // entry for regions mapped with smaller pages; only a leaf
@@ -90,8 +92,8 @@ DmtNativeFetcher::DmtNativeFetcher(const DmtRegisterFile &regs,
                                    const Memory &mem,
                                    MemoryHierarchy &caches,
                                    TranslationMechanism &fallback)
-    : regs_(regs), pt_(pt), mem_(mem), caches_(caches),
-      fallback_(fallback)
+    : regs_(regs), pt_(pt), mem_(mem), win_(mem.readWindow()),
+      caches_(caches), fallback_(fallback)
 {
 }
 
@@ -100,7 +102,7 @@ DmtNativeFetcher::walk(Addr va)
 {
     ++fetcherStats_.requests;
     const DirectProbe probe =
-        directProbe(regs_, mem_, caches_, va, nullptr);
+        directProbe(regs_, mem_, caches_, va, nullptr, &win_);
     if (!probe.matched || !probe.present) {
         ++fetcherStats_.fallbacks;
         WalkRecord rec = fallback_.walk(va);
@@ -135,6 +137,66 @@ DmtNativeFetcher::resolve(Addr va)
     return tr->pa;
 }
 
+void
+DmtNativeFetcher::prefetchWalks(const Addr *vas, std::size_t n)
+{
+    fallbackVas_.clear();
+    constexpr std::size_t kLanes = 64;
+    for (std::size_t chunk = 0; chunk < n; chunk += kLanes) {
+        const std::size_t m = std::min(kLanes, n - chunk);
+        Addr addr[kLanes][3];
+        PageSize size[kLanes][3];
+        int cnt[kLanes];
+        // Round A: compute every lane's probe addresses and pull the
+        // PTE words and their cache-model sets hostward in parallel.
+        for (std::size_t i = 0; i < m; ++i) {
+            cnt[i] = 0;
+            const DmtRegister *matches[3];
+            if (regs_.matchAll(vas[chunk + i], matches) == 0)
+                continue;
+            for (int s = 0; s < 3; ++s) {
+                const DmtRegister *reg = matches[s];
+                // Native registers never indirect through a gTEA;
+                // leave any that do to the real walk.
+                if (!reg || reg->gteaId >= 0)
+                    continue;
+                const Addr pteAddr =
+                    reg->tea.pteAddr(vas[chunk + i]);
+                addr[i][cnt[i]] = pteAddr;
+                size[i][cnt[i]] = reg->tea.leafSize;
+                ++cnt[i];
+                mem_.hostPrefetch64(pteAddr);
+                caches_.hostPrefetch(pteAddr);
+            }
+        }
+        // Round B: functionally read each winner PTE (warmed above)
+        // and warm the data address's cache-model sets. Lanes no TEA
+        // serves will take the fallback walker — let it prefetch too.
+        for (std::size_t i = 0; i < m; ++i) {
+            bool served = false;
+            for (int k = 0; k < cnt[i]; ++k) {
+                const std::uint64_t pte =
+                    win_.read(mem_, addr[i][k]);
+                if (!pteIsPresent(pte))
+                    continue;
+                const int level =
+                    RadixPageTable::leafLevel(size[i][k]);
+                if (level > 1 && !pteIsHuge(pte))
+                    continue;
+                caches_.hostPrefetch(
+                    leafPa(pte, size[i][k], vas[chunk + i]));
+                served = true;
+                break;
+            }
+            if (!served)
+                fallbackVas_.push_back(vas[chunk + i]);
+        }
+    }
+    if (!fallbackVas_.empty())
+        fallback_.prefetchWalks(fallbackVas_.data(),
+                                fallbackVas_.size());
+}
+
 DmtVirtFetcher::DmtVirtFetcher(const DmtRegisterFile &guest_regs,
                                const DmtRegisterFile &host_regs,
                                VirtualMachine &vm,
@@ -143,8 +205,8 @@ DmtVirtFetcher::DmtVirtFetcher(const DmtRegisterFile &guest_regs,
                                TranslationMechanism &fallback,
                                const GteaTable *gtea_table)
     : guestRegs_(guest_regs), hostRegs_(host_regs), vm_(vm),
-      hostMem_(host_mem), caches_(caches), fallback_(fallback),
-      gteaTable_(gtea_table)
+      hostMem_(host_mem), win_(host_mem.readWindow()),
+      caches_(caches), fallback_(fallback), gteaTable_(gtea_table)
 {
 }
 
@@ -153,7 +215,8 @@ DmtVirtFetcher::hostFetch(Addr gpa, WalkRecord &rec, Addr &hpa_out)
 {
     const Addr hva = vm_.gpaToHva(gpa);
     const DirectProbe probe =
-        directProbe(hostRegs_, hostMem_, caches_, hva, nullptr);
+        directProbe(hostRegs_, hostMem_, caches_, hva, nullptr,
+                    &win_);
     rec.dmtProbes += static_cast<std::uint8_t>(probe.probes);
     if (!probe.matched || !probe.present)
         return false;
@@ -177,7 +240,8 @@ DmtVirtFetcher::walkTwoRef(Addr gva, WalkRecord &rec)
     // Reference 1: the guest PTE, directly at its host-physical
     // address through the gTEA table.
     const DirectProbe probe =
-        directProbe(guestRegs_, hostMem_, caches_, gva, gteaTable_);
+        directProbe(guestRegs_, hostMem_, caches_, gva, gteaTable_,
+                    &win_);
     rec.dmtProbes += static_cast<std::uint8_t>(probe.probes);
     if (probe.faulted) {
         ++fetcherStats_.isolationFaults;
@@ -234,7 +298,8 @@ DmtVirtFetcher::walkThreeRef(Addr gva, WalkRecord &rec)
         // Ref 1: host PTE for the guest PTE's gPA.
         const Addr hva = vm_.gpaToHva(gPteGpa);
         const DirectProbe hprobe =
-            directProbe(hostRegs_, hostMem_, caches_, hva, nullptr);
+            directProbe(hostRegs_, hostMem_, caches_, hva, nullptr,
+                        &win_);
         rec.dmtProbes += static_cast<std::uint8_t>(hprobe.probes);
         if (!hprobe.matched || !hprobe.present)
             return false;
@@ -242,7 +307,7 @@ DmtVirtFetcher::walkThreeRef(Addr gva, WalkRecord &rec)
         // Ref 2: the guest PTE itself.
         const Cycles c2 = caches_.access(gPteHpa);
         phase = std::max(phase, hprobe.latency + c2);
-        const std::uint64_t pte = hostMem_.read64(gPteHpa);
+        const std::uint64_t pte = win_.read(hostMem_, gPteHpa);
         if (!pteIsPresent(pte))
             continue;
         const int level =
@@ -322,8 +387,9 @@ DmtNestedFetcher::DmtNestedFetcher(const DmtRegisterFile &l2_regs,
                                    const GteaTable &l2_gtable,
                                    const GteaTable &l1_gtable)
     : l2Regs_(l2_regs), l1Regs_(l1_regs), l0Regs_(l0_regs),
-      stack_(stack), l0Mem_(l0_mem), caches_(caches),
-      fallback_(fallback), l2Gtable_(l2_gtable), l1Gtable_(l1_gtable)
+      stack_(stack), l0Mem_(l0_mem), win_(l0_mem.readWindow()),
+      caches_(caches), fallback_(fallback), l2Gtable_(l2_gtable),
+      l1Gtable_(l1_gtable)
 {
 }
 
@@ -336,7 +402,7 @@ DmtNestedFetcher::walk(Addr l2va)
     do {
         // Reference 1: L2 leaf PTE, L0-resident via the L2 gTEAs.
         const DirectProbe p2 = directProbe(l2Regs_, l0Mem_, caches_,
-                                           l2va, &l2Gtable_);
+                                           l2va, &l2Gtable_, &win_);
         rec.dmtProbes += static_cast<std::uint8_t>(p2.probes);
         if (p2.faulted) {
             ++fetcherStats_.isolationFaults;
@@ -356,7 +422,7 @@ DmtNestedFetcher::walk(Addr l2va)
         // L1 gTEAs.
         const Addr l1va = stack_.l2paToL1va(dataL2pa);
         const DirectProbe p1 = directProbe(l1Regs_, l0Mem_, caches_,
-                                           l1va, &l1Gtable_);
+                                           l1va, &l1Gtable_, &win_);
         rec.dmtProbes += static_cast<std::uint8_t>(p1.probes);
         if (p1.faulted) {
             ++fetcherStats_.isolationFaults;
@@ -374,7 +440,7 @@ DmtNestedFetcher::walk(Addr l2va)
         // Reference 3: L0 container leaf PTE (local TEAs).
         const Addr hva = stack_.vm1().gpaToHva(dataL1pa);
         const DirectProbe p0 = directProbe(l0Regs_, l0Mem_, caches_,
-                                           hva, nullptr);
+                                           hva, nullptr, &win_);
         rec.dmtProbes += static_cast<std::uint8_t>(p0.probes);
         if (!p0.matched || !p0.present)
             break;

@@ -18,6 +18,7 @@
 #define DMT_CORE_DMT_FETCHER_HH
 
 #include <string>
+#include <vector>
 
 #include "core/dmt_registers.hh"
 #include "core/gtea_table.hh"
@@ -72,10 +73,15 @@ struct DirectProbe
  * @param caches hierarchy to charge
  * @param va the address being translated
  * @param gtable gTEA table for pvDMT registers (nullptr natively)
+ * @param win optional cached zero-copy window over `mem`; probes read
+ *        PTEs through it when given (the fetchers cache one at
+ *        construction so the per-translation probe skips the virtual
+ *        read64)
  */
 DirectProbe directProbe(const DmtRegisterFile &regs, const Memory &mem,
                         MemoryHierarchy &caches, Addr va,
-                        const GteaTable *gtable);
+                        const GteaTable *gtable,
+                        const Memory::ReadWindow *win = nullptr);
 
 /** Native DMT: one memory reference per translation (§3, Fig. 7). */
 class DmtNativeFetcher : public TranslationMechanism
@@ -89,14 +95,28 @@ class DmtNativeFetcher : public TranslationMechanism
     std::string name() const override { return "DMT"; }
     WalkRecord walk(Addr va) override;
     Addr resolve(Addr va) override;
+
+    /**
+     * Host-cache warmup: probe-address round first (all lanes'
+     * leaf-PTE words pulled in parallel), then a functional read of
+     * each winner to warm the data address's cache-model sets.
+     * Unmatched or non-present lanes are forwarded to the fallback
+     * walker's own prefetch. No simulated effect.
+     */
+    void prefetchWalks(const Addr *vas, std::size_t n) override;
+
     void flush() override { fallback_.flush(); }
 
     const FetcherStats &stats() const { return fetcherStats_; }
 
   private:
+    /** prefetchWalks() lanes that will take the fallback walker. */
+    std::vector<Addr> fallbackVas_;
     const DmtRegisterFile &regs_;
     const RadixPageTable &pt_;
     const Memory &mem_;
+    /** Cached zero-copy window over mem_ for the probes' PTE reads. */
+    Memory::ReadWindow win_;
     MemoryHierarchy &caches_;
     TranslationMechanism &fallback_;
     FetcherStats fetcherStats_;
@@ -144,6 +164,8 @@ class DmtVirtFetcher : public TranslationMechanism
     const DmtRegisterFile &hostRegs_;
     VirtualMachine &vm_;
     const Memory &hostMem_;
+    /** Cached zero-copy window over hostMem_ for the PTE reads. */
+    Memory::ReadWindow win_;
     MemoryHierarchy &caches_;
     TranslationMechanism &fallback_;
     const GteaTable *gteaTable_;
@@ -176,6 +198,8 @@ class DmtNestedFetcher : public TranslationMechanism
     const DmtRegisterFile &l0Regs_;
     NestedStack &stack_;
     const Memory &l0Mem_;
+    /** Cached zero-copy window over l0Mem_ for the PTE reads. */
+    Memory::ReadWindow win_;
     MemoryHierarchy &caches_;
     TranslationMechanism &fallback_;
     const GteaTable &l2Gtable_;

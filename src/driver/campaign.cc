@@ -225,9 +225,7 @@ runCell(Workload &workload, CampaignEnv env, Design design,
         std::chrono::steady_clock::now() - start;
     out.wallSeconds = elapsed.count();
     out.accessesPerSec =
-        out.wallSeconds > 0.0
-            ? static_cast<double>(out.sim.accesses) / out.wallSeconds
-            : 0.0;
+        safeOpsPerSec(out.sim.accesses, out.wallSeconds);
     return out;
 }
 
@@ -488,9 +486,7 @@ emitTimingJson(std::ostream &os, const CampaignConfig &config,
     json.field("total_cell_seconds", cellSeconds);
     json.field("total_measured_accesses", accesses);
     json.field("aggregate_accesses_per_sec",
-               wall_seconds > 0.0
-                   ? static_cast<double>(accesses) / wall_seconds
-                   : 0.0);
+               safeOpsPerSec(accesses, wall_seconds));
     json.endObject();
 }
 

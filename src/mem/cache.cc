@@ -23,45 +23,20 @@ Cache::Cache(const CacheConfig &config) : config_(config)
                "number of sets must be a power of two");
     lineShift_ = std::countr_zero(
         static_cast<unsigned>(config.lineBytes));
-    ways_.resize(numSets_ * config.associativity);
+    tags_.assign(numSets_ * config.associativity, invalidAddr);
+    lastUse_.assign(numSets_ * config.associativity, 0);
 }
 
-std::size_t
-Cache::setIndex(Addr addr) const
+void
+Cache::hostPrefetch(Addr addr) const
 {
-    return (addr >> lineShift_) & (numSets_ - 1);
-}
-
-Addr
-Cache::tagOf(Addr addr) const
-{
-    return addr >> lineShift_;
-}
-
-bool
-Cache::access(Addr addr)
-{
-    const Addr tag = tagOf(addr);
-    ++tick_;
-    // MRU filter: repeated touches of one line skip the set scan.
-    // Counter and LRU updates are identical to the scan's hit path.
-    if (Way &mru = ways_[mru_]; mru.valid && mru.tag == tag) {
-        mru.lastUse = tick_;
-        ++hits_;
-        return true;
-    }
     const std::size_t base = setIndex(addr) * config_.associativity;
-    for (int w = 0; w < config_.associativity; ++w) {
-        Way &way = ways_[base + w];
-        if (way.valid && way.tag == tag) {
-            way.lastUse = tick_;
-            ++hits_;
-            mru_ = base + w;
-            return true;
-        }
-    }
-    ++misses_;
-    return false;
+    const auto *bytes =
+        reinterpret_cast<const unsigned char *>(&tags_[base]);
+    const std::size_t span =
+        sizeof(Addr) * static_cast<std::size_t>(config_.associativity);
+    for (std::size_t off = 0; off < span; off += 64)
+        __builtin_prefetch(bytes + off, 1, 3);
 }
 
 void
@@ -70,26 +45,28 @@ Cache::insert(Addr addr)
     const std::size_t base = setIndex(addr) * config_.associativity;
     const Addr tag = tagOf(addr);
     ++tick_;
-    Way *victim = nullptr;
+    int match = -1;
     for (int w = 0; w < config_.associativity; ++w) {
-        Way &way = ways_[base + w];
-        if (way.valid && way.tag == tag) {
-            way.lastUse = tick_;
-            return;  // already resident
-        }
-        if (!way.valid) {
-            if (!victim || victim->valid)
-                victim = &way;
-        } else if (!victim ||
-                   (victim->valid && way.lastUse < victim->lastUse)) {
-            victim = &way;
-        }
+        if (tags_[base + w] == tag)
+            match = w;
     }
-    DMT_ASSERT(victim != nullptr, "no victim way found");
-    victim->valid = true;
-    victim->tag = tag;
-    victim->lastUse = tick_;
-    mru_ = static_cast<std::size_t>(victim - ways_.data());
+    if (match >= 0) {
+        lastUse_[base + match] = tick_;
+        return;  // already resident
+    }
+    std::size_t victim = base;
+    std::uint64_t best = lastUse_[base];
+    for (int w = 1; w < config_.associativity; ++w) {
+        // Branchless first-minimum: stamps are in random order, so a
+        // conditional-move beats an unpredictable compare branch.
+        const std::uint64_t lu = lastUse_[base + w];
+        const bool lower = lu < best;
+        best = lower ? lu : best;
+        victim = lower ? base + w : victim;
+    }
+    tags_[victim] = tag;
+    lastUse_[victim] = tick_;
+    mru_ = victim;
 }
 
 void
@@ -98,9 +75,9 @@ Cache::invalidate(Addr addr)
     const std::size_t base = setIndex(addr) * config_.associativity;
     const Addr tag = tagOf(addr);
     for (int w = 0; w < config_.associativity; ++w) {
-        Way &way = ways_[base + w];
-        if (way.valid && way.tag == tag) {
-            way.valid = false;
+        if (tags_[base + w] == tag) {
+            tags_[base + w] = invalidAddr;
+            lastUse_[base + w] = 0;
             return;
         }
     }
@@ -111,19 +88,17 @@ Cache::probe(Addr addr) const
 {
     const std::size_t base = setIndex(addr) * config_.associativity;
     const Addr tag = tagOf(addr);
-    for (int w = 0; w < config_.associativity; ++w) {
-        const Way &way = ways_[base + w];
-        if (way.valid && way.tag == tag)
-            return true;
-    }
-    return false;
+    bool found = false;
+    for (int w = 0; w < config_.associativity; ++w)
+        found |= tags_[base + w] == tag;
+    return found;
 }
 
 void
 Cache::flush()
 {
-    for (auto &way : ways_)
-        way.valid = false;
+    tags_.assign(tags_.size(), invalidAddr);
+    lastUse_.assign(lastUse_.size(), 0);
 }
 
 void
@@ -132,42 +107,47 @@ Cache::audit(AuditSink &sink) const
     for (std::size_t set = 0; set < numSets_; ++set) {
         const std::size_t base = set * config_.associativity;
         for (int w = 0; w < config_.associativity; ++w) {
-            const Way &way = ways_[base + w];
-            if (!way.valid)
+            const Addr tag = tags_[base + w];
+            if (tag == invalidAddr)
                 continue;
-            DMT_AUDIT_CHECK(sink,
-                            (way.tag & (numSets_ - 1)) == set,
+            DMT_AUDIT_CHECK(sink, (tag & (numSets_ - 1)) == set,
                             "%s: tag 0x%llx sits in set %zu but "
                             "indexes to set %llu",
                             config_.name.c_str(),
-                            static_cast<unsigned long long>(way.tag),
+                            static_cast<unsigned long long>(tag),
                             set,
                             static_cast<unsigned long long>(
-                                way.tag & (numSets_ - 1)));
-            DMT_AUDIT_CHECK(sink, way.lastUse <= tick_,
+                                tag & (numSets_ - 1)));
+            DMT_AUDIT_CHECK(sink, lastUse_[base + w] <= tick_,
                             "%s: LRU stamp %llu ahead of the cache "
                             "clock %llu",
                             config_.name.c_str(),
                             static_cast<unsigned long long>(
-                                way.lastUse),
+                                lastUse_[base + w]),
                             static_cast<unsigned long long>(tick_));
+            DMT_AUDIT_CHECK(sink, lastUse_[base + w] > 0,
+                            "%s: resident line 0x%llx in set %zu "
+                            "carries the invalid-way LRU stamp 0",
+                            config_.name.c_str(),
+                            static_cast<unsigned long long>(tag),
+                            set);
             for (int v = w + 1; v < config_.associativity; ++v) {
-                const Way &other = ways_[base + v];
-                if (!other.valid)
+                if (tags_[base + v] == invalidAddr)
                     continue;
-                DMT_AUDIT_CHECK(sink, other.tag != way.tag,
+                DMT_AUDIT_CHECK(sink, tags_[base + v] != tag,
                                 "%s: line 0x%llx resident twice in "
                                 "set %zu",
                                 config_.name.c_str(),
-                                static_cast<unsigned long long>(
-                                    way.tag),
+                                static_cast<unsigned long long>(tag),
                                 set);
-                DMT_AUDIT_CHECK(sink, other.lastUse != way.lastUse,
+                DMT_AUDIT_CHECK(sink,
+                                lastUse_[base + v] !=
+                                    lastUse_[base + w],
                                 "%s: two ways of set %zu share LRU "
                                 "stamp %llu",
                                 config_.name.c_str(), set,
                                 static_cast<unsigned long long>(
-                                    way.lastUse));
+                                    lastUse_[base + w]));
             }
         }
     }

@@ -43,12 +43,32 @@ class Cache
      * same line is touched back to back (common for walk metadata);
      * the filter is invisible in stats — hit/miss counters and LRU
      * stamps evolve exactly as the plain scan would.
+     * Defined inline below: every simulated access runs this several
+     * times per hierarchy level, so the body must inline into the
+     * MemoryHierarchy cascade rather than cost a cross-TU call.
      * @return true on hit.
      */
     bool access(Addr addr);
 
     /** Insert the line containing addr, evicting the LRU way. */
     void insert(Addr addr);
+
+    /**
+     * Fused access()-then-insert(): look up a line and, on miss, fill
+     * it in the same set scan. Exactly equivalent to `access(addr)`
+     * followed (on miss) by `insert(addr)` — same hit/miss counters,
+     * LRU stamps, victim choice, and MRU filter state — but with one
+     * scan instead of two. The batched simulator loop uses this for
+     * every hierarchy level that both probes and fills.
+     * @return true on hit.
+     */
+    bool accessFill(Addr addr);
+
+    /**
+     * Pull the set that addr indexes to into the *host* CPU's caches
+     * ahead of an access()/insert(). No simulated effect whatsoever.
+     */
+    void hostPrefetch(Addr addr) const;
 
     /** Invalidate the line containing addr if present. */
     void invalidate(Addr addr);
@@ -72,20 +92,36 @@ class Cache
     Counter misses() const { return misses_; }
 
   private:
-    struct Way
-    {
-        Addr tag = invalidAddr;
-        std::uint64_t lastUse = 0;  //!< LRU timestamp
-        bool valid = false;
-    };
-
     std::size_t setIndex(Addr addr) const;
     Addr tagOf(Addr addr) const;
+
+    /**
+     * Hot-path bodies specialized on the way count: access()/
+     * accessFill() dispatch to an instantiation whose scan loops
+     * have compile-time trip counts (kAssoc == 0 is the generic
+     * runtime-bound fallback), so the tag sweep unrolls and
+     * vectorizes instead of looping on a loaded bound.
+     */
+    template <int kAssoc> bool accessTpl(Addr addr);
+    template <int kAssoc> bool accessFillTpl(Addr addr);
 
     CacheConfig config_;
     std::size_t numSets_;
     int lineShift_;
-    std::vector<Way> ways_;  //!< numSets_ * associativity, set-major
+    /**
+     * Set-major struct-of-arrays way state: the match scan streams
+     * over contiguous 8-byte tags (vectorizable, two lines for a
+     * 16-way set) instead of 24-byte way structs. A way is invalid
+     * iff its tag is `invalidAddr` (real tags are `addr >> lineShift_`
+     * and cannot reach it); invalid ways keep `lastUse_ == 0`, below
+     * every valid stamp (the clock pre-increments, so valid ways are
+     * stamped >= 1). Victim selection is then a plain first-minimum
+     * scan of lastUse_, which reproduces the AoS scan's choice
+     * exactly: first invalid way if any, else lowest stamp, ties to
+     * the lowest way index.
+     */
+    std::vector<Addr> tags_;            //!< numSets_ * associativity
+    std::vector<std::uint64_t> lastUse_;  //!< LRU stamps, same layout
     /**
      * Index of the most recently hit/inserted way. A tag match here
      * is conclusive: tags embed the set index, so an equal tag in
@@ -97,6 +133,134 @@ class Cache
     Counter hits_ = 0;
     Counter misses_ = 0;
 };
+
+inline std::size_t
+Cache::setIndex(Addr addr) const
+{
+    return (addr >> lineShift_) & (numSets_ - 1);
+}
+
+inline Addr
+Cache::tagOf(Addr addr) const
+{
+    return addr >> lineShift_;
+}
+
+template <int kAssoc>
+bool
+Cache::accessTpl(Addr addr)
+{
+    const int assoc = kAssoc ? kAssoc : config_.associativity;
+    const Addr tag = tagOf(addr);
+    ++tick_;
+    // MRU filter: repeated touches of one line skip the set scan.
+    // Counter and LRU updates are identical to the scan's hit path.
+    if (tags_[mru_] == tag) {
+        lastUse_[mru_] = tick_;
+        ++hits_;
+        return true;
+    }
+    const std::size_t base = setIndex(addr) * assoc;
+    // Branch-light tag scan over the contiguous tag array; invalid
+    // ways hold the unmatchable sentinel, so no validity check.
+    int match = -1;
+    for (int w = 0; w < assoc; ++w) {
+        if (tags_[base + w] == tag)
+            match = w;
+    }
+    if (match >= 0) {
+        lastUse_[base + match] = tick_;
+        ++hits_;
+        mru_ = base + match;
+        return true;
+    }
+    ++misses_;
+    return false;
+}
+
+inline bool
+Cache::access(Addr addr)
+{
+    // One predictable jump buys compile-time scan bounds; the
+    // default arm keeps arbitrary geometries working.
+    switch (config_.associativity) {
+      case 4:
+        return accessTpl<4>(addr);
+      case 8:
+        return accessTpl<8>(addr);
+      case 11:
+        return accessTpl<11>(addr);
+      case 12:
+        return accessTpl<12>(addr);
+      case 16:
+        return accessTpl<16>(addr);
+      default:
+        return accessTpl<0>(addr);
+    }
+}
+
+template <int kAssoc>
+bool
+Cache::accessFillTpl(Addr addr)
+{
+    const int assoc = kAssoc ? kAssoc : config_.associativity;
+    const Addr tag = tagOf(addr);
+    ++tick_;
+    if (tags_[mru_] == tag) {
+        lastUse_[mru_] = tick_;
+        ++hits_;
+        return true;
+    }
+    const std::size_t base = setIndex(addr) * assoc;
+    int match = -1;
+    for (int w = 0; w < assoc; ++w) {
+        if (tags_[base + w] == tag)
+            match = w;
+    }
+    if (match >= 0) {
+        lastUse_[base + match] = tick_;
+        ++hits_;
+        mru_ = base + match;
+        return true;
+    }
+    ++misses_;
+    // The fill runs on the insert()'s own clock tick, so LRU stamps
+    // evolve exactly as the split access+insert pair's would.
+    ++tick_;
+    std::size_t victim = base;
+    std::uint64_t best = lastUse_[base];
+    for (int w = 1; w < assoc; ++w) {
+        // Branchless first-minimum: stamps are in random order, so a
+        // conditional-move beats an unpredictable compare branch.
+        const std::uint64_t lu = lastUse_[base + w];
+        const bool lower = lu < best;
+        best = lower ? lu : best;
+        victim = lower ? base + w : victim;
+    }
+    tags_[victim] = tag;
+    lastUse_[victim] = tick_;
+    mru_ = victim;
+    return false;
+}
+
+inline bool
+Cache::accessFill(Addr addr)
+{
+    switch (config_.associativity) {
+      case 4:
+        return accessFillTpl<4>(addr);
+      case 8:
+        return accessFillTpl<8>(addr);
+      case 11:
+        return accessFillTpl<11>(addr);
+      case 12:
+        return accessFillTpl<12>(addr);
+      case 16:
+        return accessFillTpl<16>(addr);
+      default:
+        return accessFillTpl<0>(addr);
+    }
+}
 
 } // namespace dmt
 

@@ -26,8 +26,44 @@ class Memory
   public:
     virtual ~Memory() = default;
 
+    /**
+     * Optional zero-copy read window. When the implementation's whole
+     * address range lives in one contiguous host array of aligned
+     * words it returns {array, bytes}; otherwise {nullptr, 0} (the
+     * default — e.g. translated guest views) and readers must go
+     * through read64(). Hot read loops (the walkers' PTE chases)
+     * cache the window once and turn each aligned in-range read into
+     * a single indexed load, skipping the virtual call. The window is
+     * read-only; writes always go through write64() so the backing
+     * store's accounting stays correct.
+     */
+    struct ReadWindow
+    {
+        const std::uint64_t *words = nullptr;
+        Addr bytes = 0;
+
+        /** read64(pa) for aligned pa, via the window when possible. */
+        std::uint64_t
+        read(const Memory &mem, Addr pa) const
+        {
+            if (pa + 8 <= bytes) [[likely]]
+                return words[pa >> 3];
+            return mem.read64(pa);
+        }
+    };
+
+    virtual ReadWindow readWindow() const { return {}; }
+
     /** Read an aligned 64-bit word; unwritten words read as zero. */
     virtual std::uint64_t read64(Addr pa) const = 0;
+
+    /**
+     * Hint that read64(pa) is imminent: pull the backing word toward
+     * the *host* CPU's caches. Purely a host-side optimization — no
+     * simulated state changes, and the default is a no-op, so every
+     * Memory implementation stays correct without overriding it.
+     */
+    virtual void hostPrefetch64(Addr /*pa*/) const {}
 
     /** Write an aligned 64-bit word. */
     virtual void write64(Addr pa, std::uint64_t value) = 0;

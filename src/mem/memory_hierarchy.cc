@@ -31,17 +31,8 @@ MemoryHierarchy::attachAuditor(InvariantAuditor &auditor,
     });
 }
 
-namespace
-{
-
-/**
- * Mirror one resolved access into the event tally: a hit at `level`
- * implies exactly one miss at every level above it, matching the
- * Cache counters bumped on the way down. Out of line so the tracing-
- * off hot path pays only the single `if (tally_)` at the call site.
- */
 __attribute__((noinline)) void
-tallyLevel(CacheTally &tally, HitLevel level)
+MemoryHierarchy::tallyLevel(CacheTally &tally, HitLevel level)
 {
     switch (level) {
       case HitLevel::L1:
@@ -65,82 +56,13 @@ tallyLevel(CacheTally &tally, HitLevel level)
     }
 }
 
-} // namespace
-
-Cycles
-MemoryHierarchy::access(Addr pa)
-{
-    HitLevel level;
-    return access(pa, level);
-}
-
-Cycles
-MemoryHierarchy::access(Addr pa, HitLevel &level)
-{
-    ++accesses_;
-    Cycles cost;
-    if (l1d_.access(pa)) {
-        level = HitLevel::L1;
-        cost = config_.l1d.roundTrip;
-    } else if (l2_.access(pa)) {
-        l1d_.insert(pa);
-        level = HitLevel::L2;
-        cost = config_.l2.roundTrip;
-    } else if (llc_.access(pa)) {
-        l2_.insert(pa);
-        l1d_.insert(pa);
-        level = HitLevel::LLC;
-        cost = config_.llc.roundTrip;
-    } else {
-        ++memAccesses_;
-        llc_.insert(pa);
-        l2_.insert(pa);
-        l1d_.insert(pa);
-        level = HitLevel::Memory;
-        DMT_AUDIT_EVENT(auditor_);
-        cost = config_.memoryRoundTrip;
-    }
-    if (tally_) [[unlikely]]
-        tallyLevel(*tally_, level);
-    return cost;
-}
-
-Cycles
-MemoryHierarchy::accessClean(Addr pa)
-{
-    ++accesses_;
-    HitLevel level;
-    Cycles cost;
-    if (l1d_.access(pa)) {
-        level = HitLevel::L1;
-        cost = config_.l1d.roundTrip;
-    } else if (l2_.access(pa)) {
-        level = HitLevel::L2;
-        cost = config_.l2.roundTrip;
-    } else if (llc_.access(pa)) {
-        level = HitLevel::LLC;
-        cost = config_.llc.roundTrip;
-    } else {
-        ++memAccesses_;
-        level = HitLevel::Memory;
-        cost = config_.memoryRoundTrip;
-    }
-    if (tally_) [[unlikely]]
-        tallyLevel(*tally_, level);
-    return cost;
-}
-
 void
 MemoryHierarchy::prefetch(Addr pa)
 {
     // Prefetches fill L2 and LLC but not L1, mirroring how hardware
     // PTE prefetchers (ASAP) avoid polluting the small L1.
-    const bool llcHit = llc_.access(pa);
-    if (!llcHit)
-        llc_.insert(pa);
-    const bool l2Hit = l2_.access(pa);
-    if (!l2Hit)
-        l2_.insert(pa);
+    const bool llcHit = llc_.accessFill(pa);
+    const bool l2Hit = l2_.accessFill(pa);
     if (tally_) [[unlikely]] {
         ++(llcHit ? tally_->llcHits : tally_->llcMisses);
         ++(l2Hit ? tally_->l2Hits : tally_->l2Misses);

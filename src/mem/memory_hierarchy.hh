@@ -18,6 +18,7 @@
 
 #include <cstdint>
 
+#include "check/audit.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "mem/cache.hh"
@@ -73,6 +74,8 @@ class MemoryHierarchy
 
     /**
      * Perform one physical memory access (fills all levels on miss).
+     * Defined inline below — the per-access cascade is the hottest
+     * code in the simulator and must inline into its callers.
      *
      * @param pa physical address
      * @return the round-trip latency in cycles
@@ -95,6 +98,20 @@ class MemoryHierarchy
      * caller (used by the ASAP prefetcher model).
      */
     void prefetch(Addr pa);
+
+    /**
+     * Pull the sets pa indexes to — at every level — into the host
+     * CPU's caches ahead of an access(). Purely a host-side hint with
+     * zero simulated effect; the batched pipeline issues these for
+     * upcoming PTE and data addresses.
+     */
+    void
+    hostPrefetch(Addr pa) const
+    {
+        l1d_.hostPrefetch(pa);
+        l2_.hostPrefetch(pa);
+        llc_.hostPrefetch(pa);
+    }
 
     /** Invalidate a line everywhere (e.g. after PTE migration). */
     void invalidate(Addr pa);
@@ -128,6 +145,15 @@ class MemoryHierarchy
     void setEventTally(CacheTally *tally) { tally_ = tally; }
 
   private:
+    /**
+     * Mirror one resolved access into the event tally: a hit at
+     * `level` implies exactly one miss at every level above it,
+     * matching the Cache counters bumped on the way down. Out of
+     * line so the tracing-off hot path pays only the single
+     * `if (tally_)` at the call site.
+     */
+    static void tallyLevel(CacheTally &tally, HitLevel level);
+
     HierarchyConfig config_;
     // Direct members (no unique_ptr indirection): every access()
     // touches all levels that miss, so keep them on one allocation.
@@ -140,6 +166,67 @@ class MemoryHierarchy
     InvariantAuditor *auditor_ = nullptr;
     int auditHookId_ = 0;
 };
+
+inline Cycles
+MemoryHierarchy::access(Addr pa)
+{
+    HitLevel level;
+    return access(pa, level);
+}
+
+inline Cycles
+MemoryHierarchy::access(Addr pa, HitLevel &level)
+{
+    ++accesses_;
+    Cycles cost;
+    // Fused probe+fill per level: on a miss every level below fills
+    // anyway, so accessFill() saves the second set scan. Per-cache
+    // counter and LRU evolution is identical to the split
+    // access()/insert() cascade this replaces.
+    if (l1d_.accessFill(pa)) {
+        level = HitLevel::L1;
+        cost = config_.l1d.roundTrip;
+    } else if (l2_.accessFill(pa)) {
+        level = HitLevel::L2;
+        cost = config_.l2.roundTrip;
+    } else if (llc_.accessFill(pa)) {
+        level = HitLevel::LLC;
+        cost = config_.llc.roundTrip;
+    } else {
+        ++memAccesses_;
+        level = HitLevel::Memory;
+        DMT_AUDIT_EVENT(auditor_);
+        cost = config_.memoryRoundTrip;
+    }
+    if (tally_) [[unlikely]]
+        tallyLevel(*tally_, level);
+    return cost;
+}
+
+inline Cycles
+MemoryHierarchy::accessClean(Addr pa)
+{
+    ++accesses_;
+    HitLevel level;
+    Cycles cost;
+    if (l1d_.access(pa)) {
+        level = HitLevel::L1;
+        cost = config_.l1d.roundTrip;
+    } else if (l2_.access(pa)) {
+        level = HitLevel::L2;
+        cost = config_.l2.roundTrip;
+    } else if (llc_.access(pa)) {
+        level = HitLevel::LLC;
+        cost = config_.llc.roundTrip;
+    } else {
+        ++memAccesses_;
+        level = HitLevel::Memory;
+        cost = config_.memoryRoundTrip;
+    }
+    if (tally_) [[unlikely]]
+        tallyLevel(*tally_, level);
+    return cost;
+}
 
 } // namespace dmt
 

@@ -3,16 +3,47 @@
 #include <algorithm>
 #include <cstring>
 
+#include <sys/mman.h>
+
 #include "common/log.hh"
 
 namespace dmt
 {
 
-PhysicalMemory::PhysicalMemory(Addr size_bytes)
-    : size_(size_bytes),
-      frames_((size_bytes + frameBytes - 1) >> frameShift)
+PhysicalMemory::PhysicalMemory(Addr size_bytes) : size_(size_bytes)
 {
     DMT_ASSERT(size_bytes > 0, "physical memory must be non-empty");
+    const std::size_t frames =
+        static_cast<std::size_t>((size_bytes + frameBytes - 1) >>
+                                 frameShift);
+    // Round the store up to whole frames so in-range word indexing
+    // never runs off the mapping even for a non-frame-multiple size.
+    mappedBytes_ = frames * static_cast<std::size_t>(frameBytes);
+    // Anonymous no-reserve mapping: every page reads as zero until
+    // written, and the kernel commits host RAM only for pages that
+    // are. This is what keeps a multi-GB simulated memory cheap while
+    // read64 stays a single indexed load.
+    void *map = ::mmap(nullptr, mappedBytes_, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE,
+                       -1, 0);
+    if (map == MAP_FAILED)
+        panic("cannot map 0x%llx bytes of simulated physical memory",
+              static_cast<unsigned long long>(mappedBytes_));
+    words_ = static_cast<std::uint64_t *>(map);
+#ifdef MADV_HUGEPAGE
+    // A multi-GB sparse mapping touched 8 bytes at a time is host-TLB
+    // hostile with 4 KB host pages; huge-page backing keeps read64's
+    // single load from stalling on dTLB walks. Advisory only.
+    ::madvise(map, mappedBytes_, MADV_HUGEPAGE);
+#endif
+    frameLive_.assign(frames, 0);
+    frameNonzero_.assign(frames, 0);
+}
+
+PhysicalMemory::~PhysicalMemory()
+{
+    if (words_)
+        ::munmap(words_, mappedBytes_);
 }
 
 void
@@ -41,21 +72,20 @@ void
 PhysicalMemory::write64(Addr pa, std::uint64_t value)
 {
     checkAccess(pa);
-    Frame *frame = frames_[pa >> frameShift].get();
-    if (!frame) {
+    const std::size_t frame =
+        static_cast<std::size_t>(pa >> frameShift);
+    if (!frameLive_[frame]) {
         if (value == 0)
             return;  // zero into an unmaterialised frame: no-op
-        auto fresh = std::make_unique<Frame>();
-        frame = fresh.get();
-        frames_[pa >> frameShift] = std::move(fresh);
+        frameLive_[frame] = 1;
         ++framesInUse_;
     }
-    std::uint64_t &slot = frame->words[wordIndex(pa)];
+    std::uint64_t &slot = words_[pa >> 3];
     if (value != 0 && slot == 0) {
-        ++frame->nonzero;
+        ++frameNonzero_[frame];
         ++nonzeroWords_;
     } else if (value == 0 && slot != 0) {
-        --frame->nonzero;
+        --frameNonzero_[frame];
         --nonzeroWords_;
     }
     slot = value;
@@ -64,18 +94,34 @@ PhysicalMemory::write64(Addr pa, std::uint64_t value)
 void
 PhysicalMemory::zeroWithinFrame(Addr pa, Addr bytes)
 {
-    Frame *frame = frames_[pa >> frameShift].get();
-    if (!frame || frame->nonzero == 0)
+    const std::size_t frame =
+        static_cast<std::size_t>(pa >> frameShift);
+    if (!frameLive_[frame] || frameNonzero_[frame] == 0)
         return;
-    const std::size_t first = wordIndex(pa);
-    const std::size_t count = bytes >> 3;
-    for (std::size_t w = first; w < first + count; ++w) {
-        if (frame->words[w] != 0) {
-            --frame->nonzero;
+    std::uint64_t *span = words_ + (pa >> 3);
+    const std::size_t count = static_cast<std::size_t>(bytes >> 3);
+    for (std::size_t w = 0; w < count; ++w) {
+        if (span[w] != 0) {
+            --frameNonzero_[frame];
             --nonzeroWords_;
         }
     }
-    std::memset(frame->words.data() + first, 0, count * 8);
+    std::memset(span, 0, count * 8);
+}
+
+void
+PhysicalMemory::dropFrame(Addr frame)
+{
+    const std::size_t f = static_cast<std::size_t>(frame);
+    if (!frameLive_[f])
+        return;
+    if (frameNonzero_[f] != 0) {
+        nonzeroWords_ -= frameNonzero_[f];
+        frameNonzero_[f] = 0;
+        std::memset(words_ + f * frameWords, 0, frameBytes);
+    }
+    frameLive_[f] = 0;
+    --framesInUse_;
 }
 
 void
@@ -90,12 +136,7 @@ PhysicalMemory::zeroRange(Addr pa, Addr bytes)
         const Addr chunkEnd = std::min(end, frameEnd);
         if (pa == (pa & ~frameMask) && chunkEnd == frameEnd) {
             // Whole frame: drop it (reads as zero again).
-            auto &slot = frames_[pa >> frameShift];
-            if (slot) {
-                nonzeroWords_ -= slot->nonzero;
-                slot.reset();
-                --framesInUse_;
-            }
+            dropFrame(pa >> frameShift);
         } else {
             zeroWithinFrame(pa, chunkEnd - pa);
         }
@@ -117,38 +158,32 @@ PhysicalMemory::copyRange(Addr dst, Addr src, Addr bytes)
         const Addr chunk =
             std::min({bytes, frameBytes - (dst & frameMask),
                       frameBytes - (src & frameMask)});
-        const Frame *from = frames_[src >> frameShift].get();
-        if (!from || from->nonzero == 0) {
+        const std::size_t sf =
+            static_cast<std::size_t>(src >> frameShift);
+        if (frameNonzero_[sf] == 0) {
             // Source reads as zero: equivalent to zeroing dst.
-            if (dst == (dst & ~frameMask) && chunk == frameBytes) {
-                auto &slot = frames_[dst >> frameShift];
-                if (slot) {
-                    nonzeroWords_ -= slot->nonzero;
-                    slot.reset();
-                    --framesInUse_;
-                }
-            } else {
+            if (dst == (dst & ~frameMask) && chunk == frameBytes)
+                dropFrame(dst >> frameShift);
+            else
                 zeroWithinFrame(dst, chunk);
-            }
         } else {
-            Frame *to = frames_[dst >> frameShift].get();
-            if (!to) {
-                auto fresh = std::make_unique<Frame>();
-                to = fresh.get();
-                frames_[dst >> frameShift] = std::move(fresh);
+            const std::size_t df =
+                static_cast<std::size_t>(dst >> frameShift);
+            if (!frameLive_[df]) {
+                frameLive_[df] = 1;
                 ++framesInUse_;
             }
-            const std::size_t words = chunk >> 3;
-            const std::size_t df = wordIndex(dst);
-            const std::size_t sf = wordIndex(src);
+            const std::size_t words =
+                static_cast<std::size_t>(chunk >> 3);
+            const std::uint64_t *from = words_ + (src >> 3);
+            std::uint64_t *to = words_ + (dst >> 3);
             std::size_t delta = 0;  // nonzero words, new minus old
             for (std::size_t w = 0; w < words; ++w) {
-                delta += (from->words[sf + w] != 0) ? 1 : 0;
-                delta -= (to->words[df + w] != 0) ? 1 : 0;
+                delta += (from[w] != 0) ? 1 : 0;
+                delta -= (to[w] != 0) ? 1 : 0;
             }
-            std::memcpy(to->words.data() + df, from->words.data() + sf,
-                        chunk);
-            to->nonzero += static_cast<std::uint32_t>(delta);
+            std::memcpy(to, from, chunk);
+            frameNonzero_[df] += static_cast<std::uint32_t>(delta);
             nonzeroWords_ += delta;
         }
         dst += chunk;

@@ -5,23 +5,24 @@
  * Backing store for page tables, TEAs, and any other structure whose
  * *content* the simulator must read back (the page walkers really read
  * PTE values from here). Data pages do not need content, so the store
- * only materialises 4 KB frames that were written.
+ * only accounts 4 KB frames that were written.
  *
- * Storage is a flat frame directory: a dense vector of frame pointers
- * indexed by frame number (capacity is known at construction), each
- * frame holding 512 words. read64/write64 are two array indexes — no
- * hashing on the walkers' per-PTE path — zeroRange is a per-frame
- * memset (or a frame drop), and copyRange is a memcpy. Words in
- * unmaterialised frames read as zero, preserving the zero-fill
- * contract of the old word-map store.
+ * Storage is one flat word array over the whole physical address
+ * space, demand-backed by the host kernel (anonymous, no-reserve
+ * mapping): untouched spans share the kernel's zero page, so a 4 GB
+ * simulated memory costs host RAM only for the frames actually
+ * written. read64 is then a single indexed load — no frame-pointer
+ * chase and no materialisation branch on the walkers' per-PTE path.
+ * Frame-granular accounting (materialised frames, nonzero words)
+ * lives in small side arrays that only the write paths touch. Words
+ * in unmaterialised frames read as zero, preserving the zero-fill
+ * contract of the old frame-directory store.
  */
 
 #ifndef DMT_MEM_PHYSICAL_MEMORY_HH
 #define DMT_MEM_PHYSICAL_MEMORY_HH
 
-#include <array>
 #include <cstdint>
-#include <memory>
 #include <vector>
 
 #include "common/types.hh"
@@ -40,14 +41,33 @@ class PhysicalMemory : public Memory
      *        chasing a garbage pointer).
      */
     explicit PhysicalMemory(Addr size_bytes);
+    ~PhysicalMemory() override;
+
+    PhysicalMemory(const PhysicalMemory &) = delete;
+    PhysicalMemory &operator=(const PhysicalMemory &) = delete;
 
     /** Read an aligned 64-bit word; unwritten words read as zero. */
     std::uint64_t
     read64(Addr pa) const override
     {
         checkAccess(pa);
-        const Frame *frame = frames_[pa >> frameShift].get();
-        return frame ? frame->words[wordIndex(pa)] : 0;
+        return words_[pa >> 3];
+    }
+
+    /** The flat word store doubles as a zero-copy read window. */
+    ReadWindow
+    readWindow() const override
+    {
+        return {words_, size_};
+    }
+
+    /** Pull the word's backing storage into host caches. */
+    void
+    hostPrefetch64(Addr pa) const override
+    {
+        // Out-of-range addresses are left for read64() to diagnose.
+        if (pa < size_)
+            __builtin_prefetch(&words_[pa >> 3], 0, 1);
     }
 
     /** Write an aligned 64-bit word. */
@@ -85,29 +105,27 @@ class PhysicalMemory : public Memory
     static constexpr Addr frameMask = frameBytes - 1;
     static constexpr std::size_t frameWords = frameBytes / 8;
 
-    /** One materialised frame; words value-initialise to zero. */
-    struct Frame
-    {
-        std::array<std::uint64_t, frameWords> words{};
-        /** Nonzero words resident in this frame. */
-        std::uint32_t nonzero = 0;
-    };
-
-    static std::size_t
-    wordIndex(Addr pa)
-    {
-        return (pa & frameMask) >> 3;
-    }
-
     void checkAccess(Addr pa) const;
     void checkRange(Addr pa, Addr bytes, const char *what) const;
 
     /** Zero a word-aligned span that lies within a single frame. */
     void zeroWithinFrame(Addr pa, Addr bytes);
 
+    /** Drop a whole frame back to the unmaterialised (zero) state. */
+    void dropFrame(Addr frame);
+
     Addr size_;
-    /** Flat frame directory; null = unmaterialised (reads as zero). */
-    std::vector<std::unique_ptr<Frame>> frames_;
+    /** Flat word store, one slot per aligned word of the space. */
+    std::uint64_t *words_ = nullptr;
+    std::size_t mappedBytes_ = 0;
+    /**
+     * Per-frame accounting: whether a frame counts as materialised
+     * (a nonzero value was ever written and not since dropped) and
+     * how many of its words are currently nonzero. Only the write
+     * paths consult these; reads go straight to the word store.
+     */
+    std::vector<std::uint8_t> frameLive_;
+    std::vector<std::uint32_t> frameNonzero_;
     std::size_t nonzeroWords_ = 0;
     std::size_t framesInUse_ = 0;
 };

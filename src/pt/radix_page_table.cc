@@ -1,5 +1,7 @@
 #include "pt/radix_page_table.hh"
 
+#include <algorithm>
+
 #include "check/audit.hh"
 #include "common/log.hh"
 #include "common/ordered.hh"
@@ -17,7 +19,8 @@ constexpr std::uint64_t leafFlags =
 
 RadixPageTable::RadixPageTable(Memory &mem,
                                BuddyAllocator &allocator, int levels)
-    : mem_(mem), allocator_(allocator), levels_(levels)
+    : mem_(mem), win_(mem.readWindow()), allocator_(allocator),
+      levels_(levels)
 {
     DMT_ASSERT(levels == 4 || levels == 5,
                "x86-64 supports 4- or 5-level paging");
@@ -277,7 +280,7 @@ RadixPageTable::translate(Addr va) const
     Pfn cur = rootPfn_;
     for (int level = levels_; level >= 1; --level) {
         const Addr slot = entrySlot(cur, va, level);
-        const std::uint64_t pte = mem_.read64(slot);
+        const std::uint64_t pte = win_.read(mem_, slot);
         if (!pteIsPresent(pte))
             return std::nullopt;
         const bool leaf = (level == 1) || pteIsHuge(pte);
@@ -303,13 +306,67 @@ RadixPageTable::walkPath(Addr va) const
     Pfn cur = rootPfn_;
     for (int level = levels_; level >= 1; --level) {
         const Addr slot = entrySlot(cur, va, level);
-        const std::uint64_t pte = mem_.read64(slot);
+        const std::uint64_t pte = win_.read(mem_, slot);
         steps.push_back({level, slot, pte});
         if (!pteIsPresent(pte) || (level == 1) || pteIsHuge(pte))
             break;
         cur = ptePfn(pte);
     }
     return steps;
+}
+
+void
+RadixPageTable::prefetchWalks(const Addr *vas, PrefetchedWalk *out,
+                              std::size_t n) const
+{
+    // Lanes chase in lock-step per level so the independent PTE
+    // fetches of one level overlap in the host memory system; 64
+    // lanes keeps the scratch on the stack and is far beyond any
+    // real machine's miss-level parallelism.
+    constexpr std::size_t kLanes = 64;
+    for (std::size_t chunk = 0; chunk < n; chunk += kLanes) {
+        const std::size_t m = std::min(kLanes, n - chunk);
+        Pfn cur[kLanes];
+        Addr slot[kLanes];
+        bool live[kLanes];
+        for (std::size_t i = 0; i < m; ++i) {
+            cur[i] = rootPfn_;
+            live[i] = true;
+            out[chunk + i] = PrefetchedWalk{};
+        }
+        for (int level = levels_; level >= 1; --level) {
+            for (std::size_t i = 0; i < m; ++i) {
+                if (!live[i])
+                    continue;
+                slot[i] = entrySlot(cur[i], vas[chunk + i], level);
+                mem_.hostPrefetch64(slot[i]);
+            }
+            for (std::size_t i = 0; i < m; ++i) {
+                if (!live[i])
+                    continue;
+                const std::uint64_t pte = win_.read(mem_, slot[i]);
+                PrefetchedWalk &o = out[chunk + i];
+                o.pteAddr[o.nSteps++] = slot[i];
+                if (!pteIsPresent(pte)) {
+                    live[i] = false;
+                    continue;
+                }
+                if (level == 1 || pteIsHuge(pte)) {
+                    PageSize size = PageSize::Size4K;
+                    if (level == 2)
+                        size = PageSize::Size2M;
+                    else if (level == 3)
+                        size = PageSize::Size1G;
+                    o.pa = (ptePfn(pte) << pageShift) +
+                           (vas[chunk + i] &
+                            (pageBytesOf(size) - 1));
+                    live[i] = false;
+                    continue;
+                }
+                cur[i] = ptePfn(pte);
+            }
+        }
+    }
 }
 
 std::optional<Addr>

@@ -12,6 +12,7 @@
 #define DMT_SIM_RADIX_WALKER_HH
 
 #include <string>
+#include <vector>
 
 #include "mem/memory_hierarchy.hh"
 #include "pt/radix_page_table.hh"
@@ -42,6 +43,9 @@ class RadixWalker : public TranslationMechanism
 
     Addr resolve(Addr va) override;
 
+    /** Breadth-first host-cache warmup of the upcoming walks. */
+    void prefetchWalks(const Addr *vas, std::size_t n) override;
+
     void flush() override { pwc_.flush(); }
 
     PageWalkCache &pwc() { return pwc_; }
@@ -61,6 +65,8 @@ class RadixWalker : public TranslationMechanism
     MemoryHierarchy &caches_;
     PageWalkCache pwc_;
     std::string name_;
+    /** prefetchWalks() scratch, reused across batches. */
+    std::vector<RadixPageTable::PrefetchedWalk> prefetchScratch_;
     InvariantAuditor *auditor_ = nullptr;
     int auditHookId_ = 0;
 };

@@ -1,5 +1,9 @@
 #include "sim/translation_sim.hh"
 
+#include <algorithm>
+#include <array>
+#include <utility>
+
 #include "common/log.hh"
 #include "obs/event.hh"
 
@@ -23,6 +27,46 @@ narrow16(std::uint64_t v)
                "event field %llu overflows 16 bits",
                static_cast<unsigned long long>(v));
     return static_cast<std::uint16_t>(v);
+}
+
+/**
+ * Flat step-cost accumulator cell. The batched pipeline replaces the
+ * scalar loop's per-step std::map lookup with an indexed array of
+ * these, folded into SimResult::stepCosts once per run.
+ */
+struct StepCell
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t count = 0;
+};
+
+/** Cells: Figure-16 slots (1-24) below 32, (dim, level) pairs above. */
+constexpr int kStepCells = 64;
+
+/** Flat cell index for one step's (slot | dim, level) key. */
+int
+stepCellIndex(const WalkStepCost &step)
+{
+    if (step.slot >= 0)
+        return step.slot;  // slots are 1-24 (Figure 2)
+    int dim = 3;  // 'd'
+    if (step.dim == 'g')
+        dim = 0;
+    else if (step.dim == 'h')
+        dim = 1;
+    else if (step.dim == 'n')
+        dim = 2;
+    return 32 + dim * 8 + step.level;
+}
+
+/** stepCosts map key for a flat cell index (stepCellIndex inverse). */
+std::pair<char, int>
+stepCellKey(int idx)
+{
+    if (idx < 32)
+        return {'s', idx};
+    constexpr char dims[4] = {'g', 'h', 'n', 'd'};
+    return {dims[(idx - 32) / 8], (idx - 32) % 8};
 }
 
 /** Copy the per-access cache tally into the event record. */
@@ -58,6 +102,15 @@ template <bool kTrace>
 SimResult
 TranslationSimulator::runImpl(TraceSource &trace,
                               const SimConfig &config)
+{
+    return config.batchSize <= 1 ? runScalar<kTrace>(trace, config)
+                                 : runBatched<kTrace>(trace, config);
+}
+
+template <bool kTrace>
+SimResult
+TranslationSimulator::runScalar(TraceSource &trace,
+                                const SimConfig &config)
 {
     SimResult result;
     // Traced runs always record steps so events carry the per-step
@@ -173,6 +226,205 @@ TranslationSimulator::runImpl(TraceSource &trace,
                 sink_->emit(ev, kNoSteps);
             }
         }
+    }
+    if constexpr (kTrace)
+        caches_.setEventTally(nullptr);
+    return result;
+}
+
+template <bool kTrace>
+SimResult
+TranslationSimulator::runBatched(TraceSource &trace,
+                                 const SimConfig &config)
+{
+    SimResult result;
+    mechanism_.recordSteps(kTrace || config.recordSteps);
+    CacheTally tally;
+    static const std::vector<WalkStepCost> kNoSteps;
+    if constexpr (kTrace)
+        caches_.setEventTally(&tally);
+
+    // Struct-of-arrays batch buffers.
+    const std::uint64_t batch = config.batchSize;
+    std::vector<Addr> vas(batch);
+    std::vector<Addr> missVas;
+    missVas.reserve(batch);
+    std::array<StepCell, kStepCells> stepCells{};
+
+    // Hint-stage gate: when the simulated model state is small enough
+    // to live in the host's caches, warming it ahead of stage 4 buys
+    // nothing and costs real time per access. The stages are
+    // result-neutral (read-only probes and host prefetches), so
+    // skipping them cannot change any counter or event.
+    const HierarchyConfig &hier = caches_.config();
+    const Addr modelBytes =
+        hier.l1d.sizeBytes + hier.l2.sizeBytes + hier.llc.sizeBytes +
+        16 *
+            (static_cast<Addr>(tlbs_.l1d().config().entries) +
+             static_cast<Addr>(tlbs_.stlb().config().entries));
+    const bool hostHints =
+        modelBytes >= config.prefetchMinModelBytes;
+
+    const std::uint64_t total =
+        config.warmupAccesses + config.measureAccesses;
+    std::uint64_t i = 0;
+    while (i < total) {
+        std::uint64_t n = std::min(batch, total - i);
+        // Batches never straddle the warmup boundary, so `measuring`
+        // is one branch per batch instead of one per access.
+        if (i < config.warmupAccesses)
+            n = std::min(n, config.warmupAccesses - i);
+        const bool measuring = i >= config.warmupAccesses;
+
+        // Stage 1: bulk trace fill — one virtual call per batch.
+        trace.fill(vas.data(), n);
+
+        if (hostHints) {
+            // Stage 2: warm the TLB sets the lookups will scan, then
+            // a read-only screen for the slots expected to miss. The
+            // screen is a prediction — walk-driven inserts below can
+            // flip later slots — but a wrong guess only wastes a
+            // hint.
+            for (std::uint64_t j = 0; j < n; ++j)
+                tlbs_.hostPrefetch(vas[j]);
+            missVas.clear();
+            for (std::uint64_t j = 0; j < n; ++j) {
+                if (!tlbs_.probeData(vas[j]))
+                    missVas.push_back(vas[j]);
+            }
+
+            // Stage 3: the mechanism functionally chases the
+            // predicted walks and warms the host caches for what
+            // walk() will touch.
+            if (!missVas.empty())
+                mechanism_.prefetchWalks(missVas.data(),
+                                         missVas.size());
+        }
+
+        // Stage 4: the exact commit pass — identical simulated
+        // operations in identical order to the scalar loop, with
+        // counters held in per-batch accumulators.
+        BatchStats bs;
+        for (std::uint64_t j = 0; j < n; ++j) {
+            const Addr va = vas[j];
+            PageSize hitSize = PageSize::Size4K;
+            TlbHierarchy::Result tlb;
+            if constexpr (kTrace) {
+                tally.reset();
+                tlb = tlbs_.lookupData(va, &hitSize);
+            } else {
+                tlb = tlbs_.lookupData(va);
+            }
+
+            ++bs.accesses;
+            if (tlb == TlbHierarchy::Result::L1Hit)
+                ++bs.l1TlbHits;
+            else if (tlb == TlbHierarchy::Result::L2Hit)
+                ++bs.l2TlbHits;
+
+            if (tlb == TlbHierarchy::Result::Miss) {
+                const WalkRecord rec = mechanism_.walk(va);
+                tlbs_.insertData(va, rec.size);
+                ++bs.walks;
+                bs.walkCycles += static_cast<Counter>(rec.latency);
+                bs.seqRefs += static_cast<Counter>(rec.seqRefs);
+                bs.parallelRefs +=
+                    static_cast<Counter>(rec.parallelRefs);
+                if (rec.fellBack)
+                    ++bs.fallbacks;
+                if (measuring) {
+                    for (const auto &step : rec.steps) {
+                        StepCell &cell =
+                            stepCells[stepCellIndex(step)];
+                        cell.cycles += step.cycles;
+                        ++cell.count;
+                    }
+                }
+                // The data access, at the walked physical address.
+                caches_.access(rec.pa);
+                if constexpr (kTrace) {
+                    obs::TranslationEvent ev;
+                    ev.accessId = i + j;
+                    ev.va = va;
+                    ev.pa = rec.pa;
+                    DMT_ASSERT(rec.latency <= 0xffffffffull,
+                               "walk latency overflows the event "
+                               "record");
+                    ev.walkCycles =
+                        static_cast<std::uint32_t>(rec.latency);
+                    ev.seqRefs = narrow16(
+                        static_cast<std::uint64_t>(rec.seqRefs));
+                    ev.parallelRefs = narrow16(
+                        static_cast<std::uint64_t>(
+                            rec.parallelRefs));
+                    ev.tlb = static_cast<std::uint8_t>(
+                        obs::TlbLevel::Miss);
+                    ev.path = static_cast<std::uint8_t>(
+                        obs::eventPathOf(rec.path));
+                    ev.pageSize =
+                        static_cast<std::uint8_t>(rec.size);
+                    ev.pwcStartLevel = rec.pwcStartLevel;
+                    ev.pwcHits = rec.pwcHits;
+                    ev.pwcMisses = rec.pwcMisses;
+                    ev.nestedPwcHits = rec.nestedPwcHits;
+                    ev.nestedPwcMisses = rec.nestedPwcMisses;
+                    ev.nestedWalks = rec.nestedWalks;
+                    ev.dmtProbes = rec.dmtProbes;
+                    ev.dmtFaults = rec.dmtFaults;
+                    ev.flags = static_cast<std::uint8_t>(
+                        (measuring ? obs::kEventMeasured : 0) |
+                        (rec.gteaPath ? obs::kEventGtea : 0) |
+                        (rec.fellBack ? obs::kEventFellBack : 0));
+                    fillTally(ev, tally);
+                    sink_->emit(ev, rec.steps);
+                }
+            } else {
+                // Data access via the functional translation.
+                const Addr pa = mechanism_.resolve(va);
+                caches_.access(pa);
+                if constexpr (kTrace) {
+                    obs::TranslationEvent ev;
+                    ev.accessId = i + j;
+                    ev.va = va;
+                    ev.pa = pa;
+                    ev.tlb = static_cast<std::uint8_t>(
+                        tlb == TlbHierarchy::Result::L1Hit
+                            ? obs::TlbLevel::L1
+                            : obs::TlbLevel::Stlb);
+                    ev.path = static_cast<std::uint8_t>(
+                        obs::EventPath::TlbHit);
+                    ev.pageSize = static_cast<std::uint8_t>(hitSize);
+                    ev.flags = measuring ? obs::kEventMeasured : 0;
+                    fillTally(ev, tally);
+                    sink_->emit(ev, kNoSteps);
+                }
+            }
+        }
+
+        // Fold the batch accumulators. Walk latencies are integers
+        // and the run totals stay far below 2^53, so one double
+        // conversion here equals the scalar loop's per-walk adds.
+        if (measuring) {
+            result.accesses += bs.accesses;
+            result.l1TlbHits += bs.l1TlbHits;
+            result.l2TlbHits += bs.l2TlbHits;
+            result.walks += bs.walks;
+            result.fallbacks += bs.fallbacks;
+            result.walkCycles += static_cast<double>(bs.walkCycles);
+            result.seqRefs += bs.seqRefs;
+            result.parallelRefs += bs.parallelRefs;
+        }
+        i += n;
+    }
+
+    // Fold the flat step-cost cells into the map, once per run.
+    for (int idx = 0; idx < kStepCells; ++idx) {
+        const StepCell &cell = stepCells[idx];
+        if (cell.count == 0)
+            continue;
+        auto &dst = result.stepCosts[stepCellKey(idx)];
+        dst.first += static_cast<double>(cell.cycles);
+        dst.second += static_cast<Counter>(cell.count);
     }
     if constexpr (kTrace)
         caches_.setEventTally(nullptr);

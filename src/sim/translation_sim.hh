@@ -13,6 +13,7 @@
 #ifndef DMT_SIM_TRANSLATION_SIM_HH
 #define DMT_SIM_TRANSLATION_SIM_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 
@@ -37,7 +38,24 @@ class TraceSource
 
     /** @return the next accessed virtual address. */
     virtual Addr next() = 0;
+
+    /**
+     * Bulk-fill `n` consecutive addresses into `out` — one virtual
+     * call per batch instead of per access. The default simply loops
+     * next(), so every existing source keeps working unchanged;
+     * sources with cheap bulk access (e.g. FileTrace) override it.
+     * Must produce exactly the sequence `n` next() calls would.
+     */
+    virtual void
+    fill(Addr *out, std::size_t n)
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = next();
+    }
 };
+
+/** Default batch size of the batched simulation pipeline. */
+inline constexpr std::uint64_t kDefaultSimBatch = 256;
 
 /** Simulation lengths. */
 struct SimConfig
@@ -48,6 +66,25 @@ struct SimConfig
     Cycles tlbHitCycles = 1;
     /** Record per-step walk costs (Figure 16). */
     bool recordSteps = false;
+    /**
+     * Accesses per pipeline batch. 1 forces the scalar reference
+     * loop; anything larger runs the struct-of-arrays batched
+     * pipeline, whose results are bit-identical to the scalar loop's
+     * (the `ctest -L perf` differential suite holds it to that).
+     */
+    std::uint64_t batchSize = kDefaultSimBatch;
+    /**
+     * Host-prefetch gate for the batched pipeline's hint stages
+     * (TLB-set warming, read-only miss screen, walk prefetch). The
+     * hints have zero simulated effect — they only pay off when the
+     * model's own state (caches + TLBs) outgrows the host CPU's
+     * caches, and below that they are pure per-access overhead. The
+     * batched loop therefore skips them when the combined simulated
+     * cache + TLB footprint is under this threshold. Set to 0 to
+     * force the hint stages on regardless of model size (the
+     * differential suite does, to pin their result-neutrality).
+     */
+    Addr prefetchMinModelBytes = Addr{8} << 20;
 };
 
 /** Aggregate results of one simulation. */
@@ -90,6 +127,26 @@ struct SimResult
     }
 };
 
+/**
+ * Per-batch accumulators of the batched pipeline. The fields mirror
+ * their SimResult counterparts one-to-one (walkCycles stays integral
+ * here — walk latencies are integers, so one double conversion at
+ * batch-fold time loses nothing) and are folded into the SimResult
+ * at the end of every batch, keeping the hot loop's counter updates
+ * register-resident.
+ */
+struct BatchStats
+{
+    Counter accesses = 0;
+    Counter l1TlbHits = 0;
+    Counter l2TlbHits = 0;
+    Counter walks = 0;
+    Counter fallbacks = 0;
+    Counter walkCycles = 0;
+    Counter seqRefs = 0;
+    Counter parallelRefs = 0;
+};
+
 /** Drives traces through TLBs, the mechanism, and the caches. */
 class TranslationSimulator
 {
@@ -111,6 +168,14 @@ class TranslationSimulator
   private:
     template <bool kTrace>
     SimResult runImpl(TraceSource &trace, const SimConfig &config);
+
+    /** The scalar reference loop (batchSize <= 1). */
+    template <bool kTrace>
+    SimResult runScalar(TraceSource &trace, const SimConfig &config);
+
+    /** The struct-of-arrays batched pipeline (batchSize > 1). */
+    template <bool kTrace>
+    SimResult runBatched(TraceSource &trace, const SimConfig &config);
 
     TranslationMechanism &mechanism_;
     TlbHierarchy &tlbs_;

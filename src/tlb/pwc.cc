@@ -8,87 +8,21 @@ namespace dmt
 
 PageWalkCache::PageWalkCache(const PwcConfig &config) : config_(config)
 {
-    l3_.resize(config.entriesForL3Table);
-    l2_.resize(config.entriesForL2Table);
-    l1_.resize(config.entriesForL1Table);
-}
-
-Addr
-PageWalkCache::tagFor(Addr va, int table_level)
-{
-    // A table at level t covers 2^(12 + 9t) bytes; the tag is the VA
-    // with that span's offset stripped.
-    const int shift = pageShift + 9 * table_level;
-    return va >> shift;
-}
-
-std::vector<PageWalkCache::Entry> &
-PageWalkCache::arrayFor(int table_level)
-{
-    switch (table_level) {
-      case 3: return l3_;
-      case 2: return l2_;
-      case 1: return l1_;
-      default: panic("PWC caches table levels 1-3 only (got %d)",
-                     table_level);
-    }
-}
-
-PwcHit
-PageWalkCache::lookup(Addr va, int root_level, Pfn root_pfn)
-{
-    ++tick_;
-    // Deepest first: a cached L1-table pointer means only the leaf
-    // PTE remains to be fetched.
-    for (int t = 1; t <= 3; ++t) {
-        auto &arr = arrayFor(t);
-        const Addr tag = tagFor(va, t);
-        for (auto &e : arr) {
-            if (e.valid && e.tag == tag) {
-                e.lastUse = tick_;
-                ++hits_;
-                return {t, e.pfn, true};
-            }
-        }
-    }
-    ++misses_;
-    return {root_level, root_pfn, false};
-}
-
-void
-PageWalkCache::fill(Addr va, int table_level, Pfn table_pfn)
-{
-    if (table_level < 1 || table_level > 3)
-        return;  // the root is always reachable via CR3
-    ++tick_;
-    auto &arr = arrayFor(table_level);
-    const Addr tag = tagFor(va, table_level);
-    Entry *victim = &arr.front();
-    for (auto &e : arr) {
-        if (e.valid && e.tag == tag) {
-            e.pfn = table_pfn;
-            e.lastUse = tick_;
-            return;
-        }
-        if (!e.valid) {
-            victim = &e;
-            break;
-        }
-        if (e.lastUse < victim->lastUse)
-            victim = &e;
-    }
-    victim->valid = true;
-    victim->tag = tag;
-    victim->pfn = table_pfn;
-    victim->lastUse = tick_;
+    DMT_ASSERT(config.entriesForL3Table > 0 &&
+                   config.entriesForL2Table > 0 &&
+                   config.entriesForL1Table > 0,
+               "bad PWC geometry");
+    l3_.reset(static_cast<std::size_t>(config.entriesForL3Table));
+    l2_.reset(static_cast<std::size_t>(config.entriesForL2Table));
+    l1_.reset(static_cast<std::size_t>(config.entriesForL1Table));
 }
 
 bool
 PageWalkCache::probeLeafPointer(Addr va) const
 {
     const Addr tag = tagFor(va, 1);
-    for (const auto &e : l1_) {
-        if (e.valid && e.tag == tag)
+    for (const Addr t : l1_.tags) {
+        if (t == tag)
             return true;
     }
     return false;
@@ -100,8 +34,8 @@ PageWalkCache::probeLowPointer(Addr va) const
     if (probeLeafPointer(va))
         return true;
     const Addr tag = tagFor(va, 2);
-    for (const auto &e : l2_) {
-        if (e.valid && e.tag == tag)
+    for (const Addr t : l2_.tags) {
+        if (t == tag)
             return true;
     }
     return false;
@@ -110,9 +44,9 @@ PageWalkCache::probeLowPointer(Addr va) const
 void
 PageWalkCache::flush()
 {
-    for (auto *arr : {&l3_, &l2_, &l1_}) {
-        for (auto &e : *arr)
-            e.valid = false;
+    for (auto *bank : {&l3_, &l2_, &l1_}) {
+        bank->tags.assign(bank->tags.size(), kInvalidTag);
+        bank->lastUse.assign(bank->lastUse.size(), 0);
     }
 }
 
@@ -121,28 +55,41 @@ PageWalkCache::audit(AuditSink &sink, const Oracle &oracle,
                      const char *name) const
 {
     for (int t = 1; t <= 3; ++t) {
-        const auto &arr = t == 1 ? l1_ : t == 2 ? l2_ : l3_;
-        for (std::size_t i = 0; i < arr.size(); ++i) {
-            const Entry &e = arr[i];
-            if (!e.valid)
+        const Bank &bank = bankFor(t);
+        for (std::size_t i = 0; i < bank.tags.size(); ++i) {
+            if (bank.tags[i] == kInvalidTag) {
+                DMT_AUDIT_CHECK(sink, bank.lastUse[i] == 0,
+                                "%s: invalid L%d-table way %zu "
+                                "carries nonzero LRU stamp %llu",
+                                name, t, i,
+                                static_cast<unsigned long long>(
+                                    bank.lastUse[i]));
                 continue;
-            DMT_AUDIT_CHECK(sink, e.lastUse <= tick_,
+            }
+            DMT_AUDIT_CHECK(sink, bank.lastUse[i] <= tick_,
                             "%s: L%d-table entry LRU stamp %llu "
                             "ahead of the clock %llu",
                             name, t,
-                            static_cast<unsigned long long>(e.lastUse),
+                            static_cast<unsigned long long>(
+                                bank.lastUse[i]),
                             static_cast<unsigned long long>(tick_));
-            for (std::size_t j = i + 1; j < arr.size(); ++j) {
-                DMT_AUDIT_CHECK(sink,
-                                !arr[j].valid || arr[j].tag != e.tag,
+            // Valid ways must sit above the invalid-way stamp so the
+            // fill's first-minimum victim scan finds invalid ways
+            // first.
+            DMT_AUDIT_CHECK(sink, bank.lastUse[i] > 0,
+                            "%s: resident L%d-table entry carries "
+                            "the invalid-way LRU stamp 0",
+                            name, t);
+            for (std::size_t j = i + 1; j < bank.tags.size(); ++j) {
+                DMT_AUDIT_CHECK(sink, bank.tags[j] != bank.tags[i],
                                 "%s: duplicate L%d-table tag 0x%llx",
                                 name, t,
                                 static_cast<unsigned long long>(
-                                    e.tag));
+                                    bank.tags[i]));
             }
             if (!oracle)
                 continue;
-            const Addr va = e.tag << (pageShift + 9 * t);
+            const Addr va = bank.tags[i] << (pageShift + 9 * t);
             const auto truth = oracle(va, t);
             if (!truth) {
                 sink.fail("%s: stale pointer to vanished L%d table "
@@ -150,14 +97,14 @@ PageWalkCache::audit(AuditSink &sink, const Oracle &oracle,
                           name, t,
                           static_cast<unsigned long long>(va));
             } else {
-                DMT_AUDIT_CHECK(sink, *truth == e.pfn,
+                DMT_AUDIT_CHECK(sink, *truth == bank.pfn[i],
                                 "%s: pointer for va 0x%llx names L%d "
                                 "table frame 0x%llx but the walk "
                                 "finds 0x%llx",
                                 name,
                                 static_cast<unsigned long long>(va), t,
                                 static_cast<unsigned long long>(
-                                    e.pfn),
+                                    bank.pfn[i]),
                                 static_cast<unsigned long long>(
                                     *truth));
             }

@@ -18,6 +18,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/log.hh"
 #include "common/types.hh"
 
 namespace dmt
@@ -116,28 +117,141 @@ class PageWalkCache
     Counter misses() const { return misses_; }
 
   private:
-    struct Entry
+    /**
+     * One fully-associative bank in struct-of-arrays form: the
+     * lookup sweep streams over contiguous 8-byte tags (the L1-table
+     * bank is 32 entries — a 1 KB struct walk as AoS, four cache
+     * lines of tags as SoA). A way is invalid iff its tag is
+     * `kInvalidTag` (real tags are VA prefixes shifted right ≥ 21
+     * bits and cannot reach it) and then keeps `lastUse == 0`, below
+     * every valid stamp (the clock pre-increments), so the fill's
+     * victim choice is a plain first-minimum scan of lastUse — the
+     * same first-invalid-else-LRU the AoS scan produced.
+     */
+    struct Bank
     {
-        Addr tag = 0;  //!< VA prefix covering the table's span
-        Pfn pfn = 0;
-        std::uint64_t lastUse = 0;
-        bool valid = false;
+        std::vector<Addr> tags;
+        std::vector<Pfn> pfn;
+        std::vector<std::uint64_t> lastUse;
+
+        void
+        reset(std::size_t entries)
+        {
+            tags.assign(entries, kInvalidTag);
+            pfn.assign(entries, 0);
+            lastUse.assign(entries, 0);
+        }
     };
 
-    /** Tag for a table at `table_level` on the path of va. */
-    static Addr tagFor(Addr va, int table_level);
+    static constexpr Addr kInvalidTag = ~Addr{0};
 
-    /** @return way array for a table level (1..3). */
-    std::vector<Entry> &arrayFor(int table_level);
+    /** Tag for a table at `table_level` on the path of va. */
+    static Addr
+    tagFor(Addr va, int table_level)
+    {
+        // A table at level t covers 2^(12 + 9t) bytes; the tag is the
+        // VA with that span's offset stripped.
+        return va >> (pageShift + 9 * table_level);
+    }
+
+    /** @return the bank for a table level (1..3). */
+    Bank &bankFor(int table_level);
+    const Bank &bankFor(int table_level) const;
 
     PwcConfig config_;
-    std::vector<Entry> l3_;  //!< pointers to L3 tables
-    std::vector<Entry> l2_;  //!< pointers to L2 tables
-    std::vector<Entry> l1_;  //!< pointers to L1 tables
+    Bank l3_;  //!< pointers to L3 tables
+    Bank l2_;  //!< pointers to L2 tables
+    Bank l1_;  //!< pointers to L1 tables
     std::uint64_t tick_ = 0;
     Counter hits_ = 0;
     Counter misses_ = 0;
 };
+
+inline PageWalkCache::Bank &
+PageWalkCache::bankFor(int table_level)
+{
+    switch (table_level) {
+      case 3: return l3_;
+      case 2: return l2_;
+      case 1: return l1_;
+      default: panic("PWC caches table levels 1-3 only (got %d)",
+                     table_level);
+    }
+}
+
+inline const PageWalkCache::Bank &
+PageWalkCache::bankFor(int table_level) const
+{
+    switch (table_level) {
+      case 3: return l3_;
+      case 2: return l2_;
+      case 1: return l1_;
+      default: panic("PWC caches table levels 1-3 only (got %d)",
+                     table_level);
+    }
+}
+
+inline PwcHit
+PageWalkCache::lookup(Addr va, int root_level, Pfn root_pfn)
+{
+    ++tick_;
+    // Deepest first: a cached L1-table pointer means only the leaf
+    // PTE remains to be fetched. Branch-light sweep per bank; the
+    // duplicate-tag invariant (audited) makes the last match the
+    // only match.
+    for (int t = 1; t <= 3; ++t) {
+        Bank &bank = bankFor(t);
+        const Addr tag = tagFor(va, t);
+        const int entries = static_cast<int>(bank.tags.size());
+        int match = -1;
+        for (int i = 0; i < entries; ++i) {
+            if (bank.tags[i] == tag)
+                match = i;
+        }
+        if (match >= 0) {
+            bank.lastUse[match] = tick_;
+            ++hits_;
+            return {t, bank.pfn[match], true};
+        }
+    }
+    ++misses_;
+    return {root_level, root_pfn, false};
+}
+
+inline void
+PageWalkCache::fill(Addr va, int table_level, Pfn table_pfn)
+{
+    if (table_level < 1 || table_level > 3)
+        return;  // the root is always reachable via CR3
+    ++tick_;
+    Bank &bank = bankFor(table_level);
+    const Addr tag = tagFor(va, table_level);
+    const int entries = static_cast<int>(bank.tags.size());
+    int match = -1;
+    for (int i = 0; i < entries; ++i) {
+        if (bank.tags[i] == tag)
+            match = i;
+    }
+    if (match >= 0) {
+        bank.pfn[match] = table_pfn;
+        bank.lastUse[match] = tick_;
+        return;
+    }
+    std::size_t victim = 0;
+    std::uint64_t best = bank.lastUse[0];
+    for (int i = 1; i < entries; ++i) {
+        // Branchless first-minimum: picks the first invalid way
+        // (stamp 0) if any, else the true LRU way, ties to the
+        // lowest index — exactly the AoS scan's choice.
+        const std::uint64_t lu = bank.lastUse[i];
+        const bool lower = lu < best;
+        best = lower ? lu : best;
+        victim = lower ? static_cast<std::size_t>(i) : victim;
+    }
+    bank.tags[victim] = tag;
+    bank.pfn[victim] = table_pfn;
+    bank.lastUse[victim] = tick_;
+}
 
 } // namespace dmt
 

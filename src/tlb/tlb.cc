@@ -11,19 +11,18 @@ namespace dmt
 namespace
 {
 
-/** Index into per-size residency counters. */
-constexpr std::size_t
-sizeSlot(PageSize size)
+/** Inverse of sizeSlot for keys unpacked during audits/evictions. */
+constexpr PageSize
+slotSize(std::uint64_t slot)
 {
-    switch (size) {
-      case PageSize::Size4K:
-        return 0;
-      case PageSize::Size2M:
-        return 1;
-      case PageSize::Size1G:
-        return 2;
+    switch (slot) {
+      case 1:
+        return PageSize::Size2M;
+      case 2:
+        return PageSize::Size1G;
+      default:
+        return PageSize::Size4K;
     }
-    return 0;  // unreachable
 }
 
 } // namespace
@@ -37,47 +36,9 @@ Tlb::Tlb(const TlbConfig &config) : config_(config)
     numSets_ = config.entries / config.associativity;
     DMT_ASSERT(std::has_single_bit(numSets_),
                "TLB set count must be a power of two");
-    entries_.resize(config.entries);
-}
-
-std::size_t
-Tlb::setIndex(Vpn vpn) const
-{
-    return vpn & (numSets_ - 1);
-}
-
-int
-Tlb::findIn(std::size_t set, Vpn vpn, PageSize size) const
-{
-    const std::size_t base = set * config_.associativity;
-    for (int w = 0; w < config_.associativity; ++w) {
-        const Entry &e = entries_[base + w];
-        if (e.valid && e.vpn == vpn && e.size == size)
-            return w;
-    }
-    return -1;
-}
-
-std::optional<PageSize>
-Tlb::lookup(Addr va)
-{
-    ++tick_;
-    for (PageSize size :
-         {PageSize::Size4K, PageSize::Size2M, PageSize::Size1G}) {
-        if (sizeCount_[sizeSlot(size)] == 0)
-            continue;  // no entries at this size anywhere
-        const Vpn vpn = va >> pageShiftOf(size);
-        const std::size_t set = setIndex(vpn);
-        const int way = findIn(set, vpn, size);
-        if (way >= 0) {
-            entries_[set * config_.associativity + way].lastUse =
-                tick_;
-            ++hits_;
-            return size;
-        }
-    }
-    ++misses_;
-    return std::nullopt;
+    keys_.assign(static_cast<std::size_t>(config.entries),
+                 kInvalidKey);
+    lastUse_.assign(static_cast<std::size_t>(config.entries), 0);
 }
 
 std::optional<PageSize>
@@ -88,40 +49,30 @@ Tlb::probe(Addr va) const
         if (sizeCount_[sizeSlot(size)] == 0)
             continue;
         const Vpn vpn = va >> pageShiftOf(size);
-        if (findIn(setIndex(vpn), vpn, size) >= 0)
+        if (findIn(setIndex(vpn), keyOf(vpn, size)) >= 0)
             return size;
     }
     return std::nullopt;
 }
 
 void
-Tlb::insert(Addr va, PageSize size)
+Tlb::hostPrefetch(Addr va) const
 {
-    ++tick_;
-    const Vpn vpn = va >> pageShiftOf(size);
-    const std::size_t set = setIndex(vpn);
-    const std::size_t base = set * config_.associativity;
-    if (const int way = findIn(set, vpn, size); way >= 0) {
-        entries_[base + way].lastUse = tick_;
-        return;
+    for (PageSize size :
+         {PageSize::Size4K, PageSize::Size2M, PageSize::Size1G}) {
+        if (sizeCount_[sizeSlot(size)] == 0)
+            continue;
+        const Vpn vpn = va >> pageShiftOf(size);
+        const std::size_t base =
+            setIndex(vpn) * config_.associativity;
+        const auto *bytes =
+            reinterpret_cast<const unsigned char *>(&keys_[base]);
+        const std::size_t span =
+            sizeof(std::uint64_t) *
+            static_cast<std::size_t>(config_.associativity);
+        for (std::size_t off = 0; off < span; off += 64)
+            __builtin_prefetch(bytes + off, 1, 3);
     }
-    Entry *victim = &entries_[base];
-    for (int w = 0; w < config_.associativity; ++w) {
-        Entry &e = entries_[base + w];
-        if (!e.valid) {
-            victim = &e;
-            break;
-        }
-        if (e.lastUse < victim->lastUse)
-            victim = &e;
-    }
-    if (victim->valid)
-        --sizeCount_[sizeSlot(victim->size)];
-    ++sizeCount_[sizeSlot(size)];
-    victim->valid = true;
-    victim->vpn = vpn;
-    victim->size = size;
-    victim->lastUse = tick_;
 }
 
 void
@@ -133,9 +84,10 @@ Tlb::invalidate(Addr va)
             continue;
         const Vpn vpn = va >> pageShiftOf(size);
         const std::size_t set = setIndex(vpn);
-        const int way = findIn(set, vpn, size);
+        const int way = findIn(set, keyOf(vpn, size));
         if (way >= 0) {
-            entries_[set * config_.associativity + way].valid = false;
+            keys_[set * config_.associativity + way] = kInvalidKey;
+            lastUse_[set * config_.associativity + way] = 0;
             --sizeCount_[sizeSlot(size)];
         }
     }
@@ -144,8 +96,8 @@ Tlb::invalidate(Addr va)
 void
 Tlb::flush()
 {
-    for (auto &e : entries_)
-        e.valid = false;
+    keys_.assign(keys_.size(), kInvalidKey);
+    lastUse_.assign(lastUse_.size(), 0);
     sizeCount_.fill(0);
 }
 
@@ -155,9 +107,9 @@ Tlb::audit(AuditSink &sink, const TranslateOracle &oracle) const
     // Per-size residency counts must match the actual entries: a
     // stale count would make lookup()/probe() skip a resident size.
     std::array<std::uint32_t, 3> actual{};
-    for (const Entry &e : entries_) {
-        if (e.valid)
-            ++actual[sizeSlot(e.size)];
+    for (const std::uint64_t key : keys_) {
+        if (key != kInvalidKey)
+            ++actual[key & 3];
     }
     for (std::size_t s = 0; s < actual.size(); ++s) {
         DMT_AUDIT_CHECK(sink, actual[s] == sizeCount_[s],
@@ -166,43 +118,46 @@ Tlb::audit(AuditSink &sink, const TranslateOracle &oracle) const
                         config_.name.c_str(), s, sizeCount_[s],
                         actual[s]);
     }
-    for (std::size_t i = 0; i < entries_.size(); ++i) {
-        const Entry &e = entries_[i];
-        if (!e.valid)
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+        if (keys_[i] == kInvalidKey)
             continue;
+        const Vpn vpn = static_cast<Vpn>(keys_[i] >> 2);
+        const PageSize size = slotSize(keys_[i] & 3);
         const std::size_t set = i / config_.associativity;
         const int way = static_cast<int>(i % config_.associativity);
-        DMT_AUDIT_CHECK(sink, setIndex(e.vpn) == set,
+        DMT_AUDIT_CHECK(sink, setIndex(vpn) == set,
                         "%s: vpn 0x%llx sits in set %zu but indexes "
                         "to set %zu",
                         config_.name.c_str(),
-                        static_cast<unsigned long long>(e.vpn), set,
-                        setIndex(e.vpn));
-        DMT_AUDIT_CHECK(sink, e.lastUse <= tick_,
+                        static_cast<unsigned long long>(vpn), set,
+                        setIndex(vpn));
+        DMT_AUDIT_CHECK(sink, lastUse_[i] <= tick_,
                         "%s: LRU stamp %llu ahead of the TLB clock "
                         "%llu",
                         config_.name.c_str(),
-                        static_cast<unsigned long long>(e.lastUse),
+                        static_cast<unsigned long long>(lastUse_[i]),
                         static_cast<unsigned long long>(tick_));
+        // Invalid ways are pinned at stamp 0 so victim scans find
+        // them first; a resident entry carrying 0 would break that.
+        DMT_AUDIT_CHECK(sink, lastUse_[i] > 0,
+                        "%s: resident entry for vpn 0x%llx carries "
+                        "the invalid-way LRU stamp 0",
+                        config_.name.c_str(),
+                        static_cast<unsigned long long>(vpn));
         // Duplicate (vpn, size) pairs in one set would make lookup
         // results depend on way order.
         for (int w = way + 1; w < config_.associativity; ++w) {
-            const Entry &other =
-                entries_[set * config_.associativity + w];
-            DMT_AUDIT_CHECK(sink,
-                            !other.valid || other.vpn != e.vpn ||
-                                other.size != e.size,
-                            "%s: duplicate entry for vpn 0x%llx in "
-                            "set %zu",
-                            config_.name.c_str(),
-                            static_cast<unsigned long long>(e.vpn),
-                            set);
+            DMT_AUDIT_CHECK(
+                sink,
+                keys_[set * config_.associativity + w] != keys_[i],
+                "%s: duplicate entry for vpn 0x%llx in set %zu",
+                config_.name.c_str(),
+                static_cast<unsigned long long>(vpn), set);
         }
         // Every resident entry must be findable by a read-only
         // probe; probe() (not lookup()) keeps the sweep from
         // perturbing LRU state or hit/miss counters.
-        const Addr va = static_cast<Addr>(e.vpn)
-                        << pageShiftOf(e.size);
+        const Addr va = static_cast<Addr>(vpn) << pageShiftOf(size);
         DMT_AUDIT_CHECK(sink, probe(va).has_value(),
                         "%s: resident entry for va 0x%llx is not "
                         "findable by probe()",
@@ -216,7 +171,7 @@ Tlb::audit(AuditSink &sink, const TranslateOracle &oracle) const
                       config_.name.c_str(),
                       static_cast<unsigned long long>(va));
         } else {
-            DMT_AUDIT_CHECK(sink, *truth == e.size,
+            DMT_AUDIT_CHECK(sink, *truth == size,
                             "%s: entry for va 0x%llx has stale page "
                             "size",
                             config_.name.c_str(),
@@ -269,19 +224,6 @@ TlbHierarchy::attachAuditor(InvariantAuditor &auditor,
 }
 
 TlbHierarchy::Result
-TlbHierarchy::lookupData(Addr va)
-{
-    if (l1d_.lookup(va))
-        return Result::L1Hit;
-    if (const auto size = stlb_.lookup(va)) {
-        l1d_.insert(va, *size);
-        DMT_AUDIT_EVENT(auditor_);
-        return Result::L2Hit;
-    }
-    return Result::Miss;
-}
-
-TlbHierarchy::Result
 TlbHierarchy::lookupData(Addr va, PageSize *size_out)
 {
     // Kept separate from the plain overload so the tracing-off hot
@@ -300,14 +242,6 @@ TlbHierarchy::lookupData(Addr va, PageSize *size_out)
         return Result::L2Hit;
     }
     return Result::Miss;
-}
-
-void
-TlbHierarchy::insertData(Addr va, PageSize size)
-{
-    l1d_.insert(va, size);
-    stlb_.insert(va, size);
-    DMT_AUDIT_EVENT(auditor_);
 }
 
 void

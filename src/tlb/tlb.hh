@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "check/audit.hh"
 #include "common/types.hh"
 
 namespace dmt
@@ -56,6 +57,13 @@ class Tlb
      * an instrumented run does not perturb replacement state.
      */
     std::optional<PageSize> probe(Addr va) const;
+
+    /**
+     * Pull the sets a lookup for va would scan into the *host* CPU's
+     * caches. No simulated effect — the batched pipeline issues these
+     * one stage ahead of the real lookups.
+     */
+    void hostPrefetch(Addr va) const;
 
     /** Install a translation for the page of `size` containing va. */
     void insert(Addr va, PageSize size);
@@ -97,23 +105,62 @@ class Tlb
     void audit(AuditSink &sink, const TranslateOracle &oracle) const;
 
   private:
-    struct Entry
+    /**
+     * Entries live in struct-of-arrays form: one packed 8-byte key
+     * per way — `(vpn << 2) | sizeSlot` — plus a parallel LRU-stamp
+     * array. The lookup scan is then a branch-light equality sweep
+     * over contiguous 8-byte keys (one line for a 4-way set) instead
+     * of a 24-byte struct walk with a validity branch per way. An
+     * invalid way holds `kInvalidKey`, which no real (vpn, size) can
+     * produce, and keeps `lastUse_ == 0` — strictly below any valid
+     * stamp (the clock pre-increments) — so victim selection is a
+     * first-minimum scan of lastUse_ that picks exactly what the
+     * struct scan picked: first invalid way, else true LRU with ties
+     * to the lowest way.
+     */
+    static constexpr std::uint64_t kInvalidKey = ~0ull;
+
+    /** Index into per-size residency counters. */
+    static constexpr std::size_t
+    sizeSlot(PageSize size)
     {
-        Vpn vpn = 0;               //!< page number at `size`
-        PageSize size = PageSize::Size4K;
-        std::uint64_t lastUse = 0;
-        bool valid = false;
-    };
+        switch (size) {
+          case PageSize::Size4K:
+            return 0;
+          case PageSize::Size2M:
+            return 1;
+          case PageSize::Size1G:
+            return 2;
+        }
+        return 0;  // unreachable
+    }
+
+    /** Packed scan key for the page of `size` containing vpn. */
+    static std::uint64_t
+    keyOf(Vpn vpn, PageSize size)
+    {
+        return (static_cast<std::uint64_t>(vpn) << 2) | sizeSlot(size);
+    }
 
     /** Set index for a VPN (same set array for all sizes). */
-    std::size_t setIndex(Vpn vpn) const;
+    std::size_t setIndex(Vpn vpn) const { return vpn & (numSets_ - 1); }
 
-    /** Scan one set for (vpn, size); returns way or -1. */
-    int findIn(std::size_t set, Vpn vpn, PageSize size) const;
+    /** Scan one set for a packed key; returns way or -1. */
+    int findIn(std::size_t set, std::uint64_t key) const;
+
+    /**
+     * Way-count-specialized bodies behind findIn()/insert(): with a
+     * compile-time trip count (kAssoc == 0 falls back to the runtime
+     * bound) the key sweep and the victim scan unroll and vectorize.
+     */
+    template <int kAssoc>
+    int findInTpl(std::size_t set, std::uint64_t key) const;
+    template <int kAssoc> void insertTpl(Addr va, PageSize size);
 
     TlbConfig config_;
     std::size_t numSets_;
-    std::vector<Entry> entries_;
+    std::vector<std::uint64_t> keys_;     //!< packed, set-major
+    std::vector<std::uint64_t> lastUse_;  //!< LRU stamps, same layout
     /**
      * Valid entries per page size. lookup()/probe()/invalidate()
      * skip the set scan for any size with zero residents, so a
@@ -124,6 +171,112 @@ class Tlb
     Counter hits_ = 0;
     Counter misses_ = 0;
 };
+
+template <int kAssoc>
+int
+Tlb::findInTpl(std::size_t set, std::uint64_t key) const
+{
+    const int assoc = kAssoc ? kAssoc : config_.associativity;
+    const std::size_t base = set * assoc;
+    // Branch-light sweep: invalid ways hold the unmatchable sentinel,
+    // and duplicate (vpn, size) pairs are impossible (audited), so
+    // the last match is the only match.
+    int match = -1;
+    for (int w = 0; w < assoc; ++w) {
+        if (keys_[base + w] == key)
+            match = w;
+    }
+    return match;
+}
+
+inline int
+Tlb::findIn(std::size_t set, std::uint64_t key) const
+{
+    // One predictable jump buys a compile-time scan bound; the
+    // default arm keeps arbitrary geometries working.
+    switch (config_.associativity) {
+      case 4:
+        return findInTpl<4>(set, key);
+      case 8:
+        return findInTpl<8>(set, key);
+      case 12:
+        return findInTpl<12>(set, key);
+      case 16:
+        return findInTpl<16>(set, key);
+      default:
+        return findInTpl<0>(set, key);
+    }
+}
+
+inline std::optional<PageSize>
+Tlb::lookup(Addr va)
+{
+    ++tick_;
+    for (PageSize size :
+         {PageSize::Size4K, PageSize::Size2M, PageSize::Size1G}) {
+        if (sizeCount_[sizeSlot(size)] == 0)
+            continue;  // no entries at this size anywhere
+        const Vpn vpn = va >> pageShiftOf(size);
+        const std::size_t set = setIndex(vpn);
+        const int way = findIn(set, keyOf(vpn, size));
+        if (way >= 0) {
+            lastUse_[set * config_.associativity + way] = tick_;
+            ++hits_;
+            return size;
+        }
+    }
+    ++misses_;
+    return std::nullopt;
+}
+
+template <int kAssoc>
+void
+Tlb::insertTpl(Addr va, PageSize size)
+{
+    const int assoc = kAssoc ? kAssoc : config_.associativity;
+    ++tick_;
+    const Vpn vpn = va >> pageShiftOf(size);
+    const std::size_t set = setIndex(vpn);
+    const std::size_t base = set * assoc;
+    if (const int way = findInTpl<kAssoc>(set, keyOf(vpn, size));
+        way >= 0) {
+        lastUse_[base + way] = tick_;
+        return;
+    }
+    // First-minimum scan of the stamps: invalid ways sit at 0, below
+    // every valid stamp, so this picks the first invalid way if one
+    // exists and the true LRU way otherwise.
+    std::size_t victim = base;
+    std::uint64_t best = lastUse_[base];
+    for (int w = 1; w < assoc; ++w) {
+        const std::uint64_t lu = lastUse_[base + w];
+        const bool lower = lu < best;
+        best = lower ? lu : best;
+        victim = lower ? base + w : victim;
+    }
+    if (keys_[victim] != kInvalidKey)
+        --sizeCount_[keys_[victim] & 3];
+    ++sizeCount_[sizeSlot(size)];
+    keys_[victim] = keyOf(vpn, size);
+    lastUse_[victim] = tick_;
+}
+
+inline void
+Tlb::insert(Addr va, PageSize size)
+{
+    switch (config_.associativity) {
+      case 4:
+        return insertTpl<4>(va, size);
+      case 8:
+        return insertTpl<8>(va, size);
+      case 12:
+        return insertTpl<12>(va, size);
+      case 16:
+        return insertTpl<16>(va, size);
+      default:
+        return insertTpl<0>(va, size);
+    }
+}
 
 /**
  * The three-TLB structure of Table 3: L1I, L1D, shared L2 STLB.
@@ -157,6 +310,27 @@ class TlbHierarchy
     /** Install a completed translation into L1D and STLB. */
     void insertData(Addr va, PageSize size);
 
+    /**
+     * Read-only screen: would lookupData(va) hit either level right
+     * now? No LRU promotion, no counters, no L1 refill — this is the
+     * batched pipeline's miss predictor, used only to decide which
+     * slots are worth issuing walk prefetch hints for.
+     */
+    bool
+    probeData(Addr va) const
+    {
+        return l1d_.probe(va).has_value() ||
+               stlb_.probe(va).has_value();
+    }
+
+    /** Host-cache warmup of the sets lookupData(va) will scan. */
+    void
+    hostPrefetch(Addr va) const
+    {
+        l1d_.hostPrefetch(va);
+        stlb_.hostPrefetch(va);
+    }
+
     /** Flush all levels. */
     void flush();
 
@@ -185,6 +359,27 @@ class TlbHierarchy
     InvariantAuditor *auditor_ = nullptr;
     int auditHookId_ = 0;
 };
+
+inline TlbHierarchy::Result
+TlbHierarchy::lookupData(Addr va)
+{
+    if (l1d_.lookup(va))
+        return Result::L1Hit;
+    if (const auto size = stlb_.lookup(va)) {
+        l1d_.insert(va, *size);
+        DMT_AUDIT_EVENT(auditor_);
+        return Result::L2Hit;
+    }
+    return Result::Miss;
+}
+
+inline void
+TlbHierarchy::insertData(Addr va, PageSize size)
+{
+    l1d_.insert(va, size);
+    stlb_.insert(va, size);
+    DMT_AUDIT_EVENT(auditor_);
+}
 
 } // namespace dmt
 

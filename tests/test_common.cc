@@ -122,6 +122,18 @@ TEST(Stats, GeoMeanMatchesHandComputation)
     EXPECT_EQ(geoMean({}), 0.0);
 }
 
+TEST(Stats, SafeOpsPerSecGuardsDegenerateIntervals)
+{
+    // The bench/driver JSON emitters route every throughput field
+    // through safeOpsPerSec: a zero or negative wall-clock interval
+    // (sub-tick run, clock confusion) must emit 0.0, never inf/NaN —
+    // JSON has no encoding for those.
+    EXPECT_DOUBLE_EQ(safeOpsPerSec(1000, 2.0), 500.0);
+    EXPECT_DOUBLE_EQ(safeOpsPerSec(1000, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(safeOpsPerSec(0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(safeOpsPerSec(1000, -1.0), 0.0);
+}
+
 TEST(Stats, GroupDumpAndLookup)
 {
     StatGroup group("tlb");

@@ -1,0 +1,10 @@
+// Fixture: the registration surface — a different unit reads the
+// result fields the batch buffer mirrors, keeping them alive.
+#include "loop.hh"
+
+Counter
+reportStrokes()
+{
+    const RunResult res = runLoop(4);
+    return res.strokes + res.misses;
+}
