@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Multi-tenant host node (DESIGN.md §10): four tenant VMs sharing
+ * one core's 16-entry DMT register file. The scheduler round-robins
+ * 512-access slices; under VMID-tagged retention a tenant's
+ * registers often survive its time off-core, while the full-flush
+ * policy reloads everything and empties the tenant's TLBs and PWCs
+ * at every switch-in — the translation tax of dense consolidation.
+ *
+ *   $ ./build/examples/multi_tenant_node
+ */
+
+#include <cstdio>
+
+#include "host/node.hh"
+
+using namespace dmt;
+using namespace dmt::host;
+
+namespace
+{
+
+std::vector<TenantSpec>
+makeTenants()
+{
+    const char *workloads[] = {"GUPS", "BTree", "Redis", "XSBench"};
+    std::vector<TenantSpec> tenants;
+    for (int i = 0; i < 4; ++i) {
+        TenantSpec t;
+        t.name = "vm" + std::to_string(i);
+        t.workload = workloads[i % 4];
+        t.env = driver::CampaignEnv::Virt;
+        t.design = Design::Dmt;
+        // Four tenants hold ~20 registers between them — more than
+        // the 16-entry file, so plain LRU round-robin thrashes
+        // (cyclic reuse beyond capacity is LRU's worst case). Pin
+        // each tenant's hottest three so they ride out descheduling.
+        t.pinnedRegisters = 3;
+        tenants.push_back(t);
+    }
+    return tenants;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("4 tenant VMs x 1 core, 512-access slices, "
+                "DMT registers multiplexed 4:1\n\n");
+    std::printf("%-8s %10s %10s %10s %12s %14s\n", "policy",
+                "reg hits", "reg loads", "flushes", "walk cyc",
+                "host cyc/acc");
+
+    for (const FlushPolicy policy :
+         {FlushPolicy::Tagged, FlushPolicy::Full}) {
+        HostNodeConfig node;
+        node.cores = 1;
+        node.sliceAccesses = 512;
+        node.flush = policy;
+        node.scale = 1.0 / 64.0;
+        node.sim.warmupAccesses = 5'000;
+        node.sim.measureAccesses = 30'000;
+
+        HostNode host(node, makeTenants());
+        const auto results = host.run();
+
+        Counter hits = 0, loads = 0, flushes = 0, hostCycles = 0;
+        Counter accesses = 0, walks = 0;
+        double walkCycles = 0.0;
+        for (const HostTenantResult &r : results) {
+            hits += r.host.regHits;
+            loads += r.host.regLoads;
+            flushes += r.host.tlbFlushes;
+            hostCycles += r.host.hostCycles();
+            accesses += r.sim.accesses;
+            walks += r.sim.walks;
+            walkCycles += r.sim.walkCycles;
+        }
+        std::printf("%-8s %10llu %10llu %10llu %12.1f %14.3f\n",
+                    flushPolicyId(policy).c_str(),
+                    static_cast<unsigned long long>(hits),
+                    static_cast<unsigned long long>(loads),
+                    static_cast<unsigned long long>(flushes),
+                    walks ? walkCycles / static_cast<double>(walks)
+                          : 0.0,
+                    static_cast<double>(hostCycles) /
+                        static_cast<double>(accesses));
+    }
+
+    std::printf(
+        "\nTagged retention keeps descheduled tenants' registers "
+        "resident (hits instead of reloads) and never touches their "
+        "TLBs; full flush pays a reload storm plus cold TLBs/PWCs "
+        "every switch. Same contrast dmt-node sweeps to 256 "
+        "tenants/core.\n");
+    return 0;
+}

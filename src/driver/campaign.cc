@@ -121,6 +121,12 @@ designValidIn(CampaignEnv env, Design design)
 } // namespace
 
 std::uint64_t
+mixSeed(std::uint64_t seed, const std::string &salt)
+{
+    return splitmix64(seed ^ fnv1a64(salt));
+}
+
+std::uint64_t
 cellSeed(std::uint64_t base_seed, const CellSpec &spec)
 {
     const std::string identity = spec.workload + "|" +

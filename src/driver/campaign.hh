@@ -71,6 +71,15 @@ struct CellSpec
  */
 std::uint64_t cellSeed(std::uint64_t base_seed, const CellSpec &spec);
 
+/**
+ * Mix a salt string into a seed (splitmix64 over seed ^ FNV-1a of
+ * the salt) — the same construction cellSeed uses. Exposed so
+ * higher layers (the host node's per-tenant seeds) can derive
+ * identity-only seeds that agree with what a standalone runCell of
+ * the same identity would use.
+ */
+std::uint64_t mixSeed(std::uint64_t seed, const std::string &salt);
+
 /** Everything measured in one cell. */
 struct CellOutcome
 {

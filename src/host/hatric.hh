@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Translation-coherence and context-switch cost anchors for the host
+ * node, modeled after HATRIC ("Hardware Translation Coherence for
+ * Virtualized Systems", Yan et al. — see PAPERS.md) and the classic
+ * IPI-based shootdown numbers it improves on.
+ *
+ * The node scheduler charges these costs to tenants as host-level
+ * cycle counters; they never enter the translation simulation itself
+ * (SimResult stays a pure function of the tenant's own access
+ * stream and flush policy), so the cost model can be swept without
+ * perturbing the differential-test oracle.
+ */
+
+#ifndef DMT_HOST_HATRIC_HH
+#define DMT_HOST_HATRIC_HH
+
+#include "common/types.hh"
+
+namespace dmt::host
+{
+
+/** Per-action cycle charges (defaults; all overridable). */
+struct HatricCosts
+{
+    /** Base cost of a context switch (state save/restore, pipeline
+     *  drain) — order of a few hundred cycles on modern cores. */
+    Cycles switchBaseCycles = 400;
+    /** Loading one DMT register from task state (§4.1: registers are
+     *  task state reloaded by the OS on context switches). */
+    Cycles regLoadCycles = 12;
+    /** Saving one DMT register to task state on switch-out. */
+    Cycles regSaveCycles = 6;
+    /** A full TLB flush (untagged retention policy). */
+    Cycles tlbFlushCycles = 200;
+    /** Flushing the walker-private page-walk caches. */
+    Cycles pwcFlushCycles = 60;
+    /**
+     * Fixed cost of one translation-coherence shootdown. The
+     * IPI-based Linux path HATRIC measures costs tens of
+     * microseconds; HATRIC's co-tagged hardware protocol cuts it to
+     * roughly interconnect latency. The default models the improved
+     * (HATRIC-style) protocol; raise it to model IPI shootdowns.
+     */
+    Cycles shootdownBaseCycles = 2'500;
+    /** Added cost per remote core sharing translation state. */
+    Cycles shootdownPerCoreCycles = 600;
+    /**
+     * Per-line invalidation cost of keeping cached translation state
+     * coherent — charged per architecturally-present DMT register of
+     * the migrating tenant (its TEA cache lines are exactly the
+     * co-tagged state HATRIC tracks).
+     */
+    Cycles coherencePerLineCycles = 40;
+};
+
+} // namespace dmt::host
+
+#endif // DMT_HOST_HATRIC_HH

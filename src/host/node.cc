@@ -1,0 +1,570 @@
+#include "host/node.hh"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "check/audit.hh"
+#include "common/log.hh"
+#include "obs/event_log.hh"
+#include "obs/host_event.hh"
+#include "obs/replay.hh"
+#include "workloads/workloads.hh"
+
+namespace dmt::host
+{
+
+namespace
+{
+
+/** Sentinel core id for a tenant that has never run. */
+constexpr unsigned kNoCore = ~0u;
+
+std::string
+tenantKey(std::uint32_t tenant, const char *counter)
+{
+    return "host.t" + std::to_string(tenant) + "." + counter;
+}
+
+} // namespace
+
+std::string
+flushPolicyId(FlushPolicy policy)
+{
+    return policy == FlushPolicy::Full ? "full" : "tagged";
+}
+
+FlushPolicy
+parseFlushPolicy(const std::string &name)
+{
+    if (name == "full")
+        return FlushPolicy::Full;
+    if (name == "tagged")
+        return FlushPolicy::Tagged;
+    fatal("unknown flush policy '%s' (expected full|tagged)",
+          name.c_str());
+}
+
+/**
+ * One tenant's complete execution context: a shared-nothing testbed
+ * of its environment, its workload and trace, and the resumable
+ * session the scheduler advances slice by slice. Exactly one of
+ * native/virt/nested is set.
+ */
+struct HostNode::Tenant
+{
+    TenantSpec spec;
+    std::uint32_t index = 0;
+    std::uint64_t seed = 0;
+    unsigned core = 0;          //!< currently assigned core
+    unsigned lastCore = kNoCore;  //!< core of the previous slice
+    std::unique_ptr<Workload> workload;
+    std::unique_ptr<NativeTestbed> native;
+    std::unique_ptr<VirtTestbed> virt;
+    std::unique_ptr<NestedTestbed> nested;
+    TranslationMechanism *mech = nullptr;
+    std::unique_ptr<TraceSource> trace;
+    std::unique_ptr<TranslationSimulator> sim;
+    std::unique_ptr<obs::FileEventSink> sink;
+    obs::CounterMap beforeCounters;
+    std::unique_ptr<SimSession> session;
+    HostTenantStats host;
+    HostTenantResult result;
+
+    TlbHierarchy &
+    tlbs()
+    {
+        if (native)
+            return native->tlbs();
+        if (virt)
+            return virt->tlbs();
+        return nested->tlbs();
+    }
+
+    MemoryHierarchy &
+    caches()
+    {
+        if (native)
+            return native->caches();
+        if (virt)
+            return virt->caches();
+        return nested->caches();
+    }
+
+    void
+    translationStats(StatGroup &g)
+    {
+        if (native)
+            native->translationStats(g);
+        else if (virt)
+            virt->translationStats(g);
+        else
+            nested->translationStats(g);
+    }
+
+    /** The architectural (task-state) register file the scheduler
+     *  swaps: the guest-most level's file in every environment. */
+    DmtRegisterFile &
+    archRegs()
+    {
+        if (native)
+            return native->registers();
+        if (virt)
+            return virt->guestRegisters();
+        return nested->registers();
+    }
+
+    /** Slots of archRegs() currently present, in slot order. */
+    std::vector<std::uint8_t>
+    presentRegs()
+    {
+        std::vector<std::uint8_t> out;
+        DmtRegisterFile &regs = archRegs();
+        for (int i = 0; i < DmtRegisterFile::capacity; ++i) {
+            if (regs.at(i).present)
+                out.push_back(static_cast<std::uint8_t>(i));
+        }
+        return out;
+    }
+};
+
+HostNode::HostNode(const HostNodeConfig &config,
+                   std::vector<TenantSpec> tenants)
+    : config_(config)
+{
+    DMT_ASSERT(config_.cores >= 1, "a node needs at least one core");
+    DMT_ASSERT(config_.cores <= 256,
+               "host event records hold the core id in a byte");
+    DMT_ASSERT(!tenants.empty(), "a node needs at least one tenant");
+    std::set<std::string> names;
+    for (const TenantSpec &spec : tenants) {
+        DMT_ASSERT(!spec.name.empty(), "tenant with empty name");
+        DMT_ASSERT(names.insert(spec.name).second,
+                   "duplicate tenant name '%s'", spec.name.c_str());
+    }
+    coreFiles_.resize(config_.cores);
+    current_.assign(config_.cores, kNoTenant);
+    tenants_.reserve(tenants.size());
+    for (std::size_t i = 0; i < tenants.size(); ++i) {
+        auto t = std::make_unique<Tenant>();
+        t->spec = std::move(tenants[i]);
+        t->index = static_cast<std::uint32_t>(i);
+        t->seed = tenantSeed(config_.baseSeed, t->spec);
+        t->core = static_cast<unsigned>(i) % config_.cores;
+        tenants_.push_back(std::move(t));
+    }
+}
+
+HostNode::~HostNode()
+{
+    if (auditor_) {
+        for (const int id : auditHookIds_)
+            auditor_->unregisterHook(id);
+    }
+}
+
+std::uint64_t
+HostNode::tenantSeed(std::uint64_t base_seed, const TenantSpec &spec)
+{
+    const driver::CellSpec cell{spec.workload, spec.env, spec.design,
+                                spec.thp};
+    return driver::mixSeed(driver::cellSeed(base_seed, cell),
+                           spec.name);
+}
+
+std::string
+HostNode::tenantEventsFileName(const TenantSpec &spec)
+{
+    return "tenant_" + spec.name + ".dmtevents";
+}
+
+void
+HostNode::attachAuditor(InvariantAuditor &auditor)
+{
+    auditor_ = &auditor;
+    for (unsigned c = 0; c < config_.cores; ++c) {
+        const CoreRegisterFile *file = &coreFiles_[c];
+        auditHookIds_.push_back(auditor.registerHook(
+            "host:regfile:core" + std::to_string(c),
+            [file](AuditSink &sink) { file->audit(sink); }));
+    }
+}
+
+void
+HostNode::buildTenant(Tenant &t)
+{
+    // Mirrors driver::runCell's construction order exactly: DMT
+    // attach before workload setup, build after, trace from the
+    // identity-only seed, and the event sink's footer confined to
+    // this run's deltas. The host differential suite holds a
+    // 1-tenant node to byte-identical agreement with runCell.
+    t.workload = makeWorkload(t.spec.workload, config_.scale);
+    const TestbedConfig tb = scaledTestbedConfig(
+        config_.scale,
+        t.spec.thp ? ThpMode::Always : ThpMode::Never);
+    const Addr footprint = t.workload->footprintBytes();
+    switch (t.spec.env) {
+      case driver::CampaignEnv::Native:
+        t.native = std::make_unique<NativeTestbed>(footprint, tb);
+        if (t.spec.design == Design::Dmt ||
+            t.spec.design == Design::PvDmt) {
+            t.native->attachDmt();
+        }
+        t.workload->setup(t.native->proc());
+        t.mech = &t.native->build(t.spec.design);
+        break;
+      case driver::CampaignEnv::Virt:
+        t.virt = std::make_unique<VirtTestbed>(footprint, tb);
+        if (t.spec.design == Design::Dmt ||
+            t.spec.design == Design::PvDmt) {
+            t.virt->attachDmt(t.spec.design == Design::PvDmt);
+        }
+        t.workload->setup(t.virt->proc());
+        t.mech = &t.virt->build(t.spec.design);
+        break;
+      case driver::CampaignEnv::Nested:
+        t.nested = std::make_unique<NestedTestbed>(footprint, tb);
+        if (t.spec.design == Design::PvDmt)
+            t.nested->attachPvDmt();
+        t.workload->setup(t.nested->proc());
+        t.mech = &t.nested->build(t.spec.design);
+        break;
+    }
+    t.trace = t.workload->trace(t.seed);
+    t.sim = std::make_unique<TranslationSimulator>(*t.mech, t.tlbs(),
+                                                   t.caches());
+    if (!config_.eventsDir.empty()) {
+        t.result.eventsPath = config_.eventsDir + "/" +
+                              tenantEventsFileName(t.spec);
+        t.sink =
+            std::make_unique<obs::FileEventSink>(t.result.eventsPath);
+        StatGroup before("before");
+        t.translationStats(before);
+        t.beforeCounters = obs::counterMapFromStats(before);
+        t.sim->setEventSink(t.sink.get());
+    }
+    t.session =
+        std::make_unique<SimSession>(*t.sim, *t.trace, config_.sim);
+}
+
+void
+HostNode::finalizeTenant(Tenant &t)
+{
+    t.result.spec = t.spec;
+    t.result.seed = t.seed;
+    t.result.sim = t.session->result();
+    if (t.sink) {
+        StatGroup after("after");
+        t.translationStats(after);
+        obs::CounterMap counters = obs::diffCounters(
+            t.beforeCounters, obs::counterMapFromStats(after));
+        obs::addSimResultCounters(counters, t.result.sim);
+        t.sim->setEventSink(nullptr);
+        t.sink->setCounters(counters);
+        t.sink->finish();
+    }
+    if (t.native) {
+        t.result.design = t.mech->name();
+        if (t.native->dmtFetcher()) {
+            t.result.coverage =
+                t.native->dmtFetcher()->stats().coverage();
+        }
+    } else if (t.virt) {
+        t.result.design = t.mech->name();
+        if (t.virt->dmtFetcher()) {
+            t.result.coverage =
+                t.virt->dmtFetcher()->stats().coverage();
+        }
+        if (t.virt->shadowPager())
+            t.result.shadowExits = t.virt->shadowPager()->exits();
+        if (t.virt->hypercall()) {
+            t.result.hypercalls = t.virt->hypercall()->hypercalls();
+            t.result.hypercallCycles =
+                t.virt->hypercall()->simulatedCost();
+        }
+    } else {
+        t.result.design = t.mech->name();
+        if (t.nested->dmtFetcher()) {
+            t.result.coverage =
+                t.nested->dmtFetcher()->stats().coverage();
+        }
+        if (t.nested->shadowPager())
+            t.result.shadowExits = t.nested->shadowPager()->exits();
+        if (t.nested->l2Hypercall()) {
+            t.result.hypercalls =
+                t.nested->l2Hypercall()->hypercalls();
+            t.result.hypercallCycles =
+                t.nested->l2Hypercall()->simulatedCost();
+        }
+    }
+}
+
+std::uint64_t
+HostNode::sliceFor(const Tenant &t) const
+{
+    if (config_.sliceAccesses == 0)
+        return 0;  // run to completion
+    if (config_.slice == SlicePolicy::Weighted) {
+        const std::uint64_t w = std::max(1u, t.spec.weight);
+        return config_.sliceAccesses * w;
+    }
+    return config_.sliceAccesses;
+}
+
+void
+HostNode::switchIn(unsigned core, Tenant &t)
+{
+    const std::uint32_t prev = current_[core];
+    CoreRegisterFile &file = coreFiles_[core];
+    const bool migrated =
+        t.lastCore != kNoCore && t.lastCore != core;
+
+    obs::HostEvent sw;
+    sw.kind = static_cast<std::uint8_t>(obs::HostEventKind::CtxSwitch);
+    sw.core = static_cast<std::uint8_t>(core);
+    sw.tenant = t.index;
+    if (prev == kNoTenant)
+        sw.flags |= obs::kHostInitial;
+
+    Counter cycles = config_.costs.switchBaseCycles;
+    const std::vector<std::uint8_t> present = t.presentRegs();
+
+    if (migrated) {
+        ++t.host.migrations;
+        if (hostSink_) {
+            obs::HostEvent mig;
+            mig.kind = static_cast<std::uint8_t>(
+                obs::HostEventKind::Migration);
+            mig.core = static_cast<std::uint8_t>(core);
+            mig.tenant = t.index;
+            hostSink_->emit(mig);
+        }
+    }
+
+    // Whether the incoming tenant's translation state survived its
+    // time off the core decides the flush work at switch-in:
+    //  - full flush: nothing survives once anything else ran here,
+    //    and nothing moves with a migrating tenant;
+    //  - tagged: state survives on the same core, but a migration
+    //    leaves it behind on the old core — a HATRIC-style coherence
+    //    shootdown invalidates it there and the tenant restarts cold.
+    bool flushTenant = false;
+    if (config_.flush == FlushPolicy::Full) {
+        flushTenant = prev != kNoTenant || migrated;
+        if (prev != kNoTenant) {
+            // The outgoing tenant's registers are saved to task
+            // state as part of this switch.
+            Tenant &p = *tenants_[prev];
+            const auto saves = p.presentRegs();
+            sw.regSaves = static_cast<std::uint32_t>(saves.size());
+            cycles += static_cast<Counter>(saves.size()) *
+                      config_.costs.regSaveCycles;
+        }
+        // Untagged physical file: only the incoming tenant's
+        // registers are ever resident.
+        file.clear();
+        for (const std::uint8_t r : present) {
+            file.touch(t.index, r, r < t.spec.pinnedRegisters);
+            ++sw.regLoads;
+        }
+        cycles += static_cast<Counter>(sw.regLoads) *
+                  config_.costs.regLoadCycles;
+    } else {
+        if (migrated) {
+            // Invalidate the stale entries on the old core and pay
+            // the shootdown.
+            coreFiles_[t.lastCore].invalidateTenant(t.index);
+            flushTenant = true;
+            ++t.host.shootdowns;
+            const Counter sdCycles =
+                config_.costs.shootdownBaseCycles +
+                static_cast<Counter>(config_.cores - 1) *
+                    config_.costs.shootdownPerCoreCycles;
+            const Counter coherence =
+                static_cast<Counter>(present.size()) *
+                config_.costs.coherencePerLineCycles;
+            t.host.shootdownCycles += sdCycles;
+            t.host.coherenceCycles += coherence;
+            if (hostSink_) {
+                obs::HostEvent sd;
+                sd.kind = static_cast<std::uint8_t>(
+                    obs::HostEventKind::Shootdown);
+                sd.core = static_cast<std::uint8_t>(core);
+                sd.tenant = t.index;
+                sd.cycles = sdCycles;
+                sd.aux = static_cast<std::uint32_t>(coherence);
+                hostSink_->emit(sd);
+            }
+        }
+        // Tagged retention: the tenant's registers may still be
+        // resident from its last slice on this core.
+        for (const std::uint8_t r : present) {
+            const TouchResult res =
+                file.touch(t.index, r, r < t.spec.pinnedRegisters);
+            if (res.hit) {
+                ++sw.regHits;
+            } else {
+                ++sw.regLoads;
+                cycles += config_.costs.regLoadCycles;
+            }
+        }
+    }
+
+    if (flushTenant) {
+        t.tlbs().flush();
+        t.mech->flush();
+        ++t.host.tlbFlushes;
+        ++t.host.pwcFlushes;
+        sw.flags |= obs::kHostTlbFlushed | obs::kHostPwcFlushed;
+        cycles += config_.costs.tlbFlushCycles +
+                  config_.costs.pwcFlushCycles;
+    }
+
+    sw.cycles = cycles;
+    ++t.host.ctxSwitches;
+    t.host.switchCycles += cycles;
+    t.host.regHits += sw.regHits;
+    t.host.regLoads += sw.regLoads;
+    t.host.regSaves += sw.regSaves;
+    if (hostSink_)
+        hostSink_->emit(sw);
+
+    current_[core] = t.index;
+    t.lastCore = core;
+    DMT_AUDIT_EVENT(auditor_);
+}
+
+std::vector<HostTenantResult>
+HostNode::run()
+{
+    DMT_ASSERT(!ran_, "HostNode::run called twice");
+    ran_ = true;
+
+    if (!config_.hostEventsPath.empty()) {
+        hostSink_ = std::make_unique<obs::FileHostEventSink>(
+            config_.hostEventsPath);
+    }
+
+    for (auto &t : tenants_)
+        buildTenant(*t);
+
+    // Per-core run queues in tenant order; round-robin within each.
+    std::vector<std::vector<std::uint32_t>> queues(config_.cores);
+    for (const auto &t : tenants_)
+        queues[t->core].push_back(t->index);
+    std::vector<std::size_t> cursor(config_.cores, 0);
+
+    std::size_t remaining = tenants_.size();
+    while (remaining > 0) {
+        ++rounds_;
+        if (config_.migrateEveryRounds != 0 && config_.cores > 1 &&
+            rounds_ > 1 &&
+            (rounds_ - 1) % config_.migrateEveryRounds == 0) {
+            // Rotate every queue one core over. Residency (current_)
+            // is physical and stays put; migrating tenants pay at
+            // their next switch-in.
+            std::rotate(queues.rbegin(), queues.rbegin() + 1,
+                        queues.rend());
+            std::rotate(cursor.rbegin(), cursor.rbegin() + 1,
+                        cursor.rend());
+            for (unsigned c = 0; c < config_.cores; ++c) {
+                for (const std::uint32_t idx : queues[c])
+                    tenants_[idx]->core = c;
+            }
+        }
+        for (unsigned core = 0; core < config_.cores; ++core) {
+            const std::vector<std::uint32_t> &q = queues[core];
+            if (q.empty())
+                continue;
+            // Next unfinished tenant after the round-robin cursor.
+            Tenant *t = nullptr;
+            for (std::size_t k = 0; k < q.size(); ++k) {
+                const std::size_t pos =
+                    (cursor[core] + k) % q.size();
+                Tenant &cand = *tenants_[q[pos]];
+                if (!cand.session->done()) {
+                    t = &cand;
+                    cursor[core] = (pos + 1) % q.size();
+                    break;
+                }
+            }
+            if (!t)
+                continue;
+            ++t->host.dispatches;
+            if (hostSink_) {
+                obs::HostEvent d;
+                d.kind = static_cast<std::uint8_t>(
+                    obs::HostEventKind::Dispatch);
+                d.core = static_cast<std::uint8_t>(core);
+                d.tenant = t->index;
+                hostSink_->emit(d);
+            }
+            if (current_[core] != t->index)
+                switchIn(core, *t);
+            t->session->advance(sliceFor(*t));
+            if (t->session->done()) {
+                finalizeTenant(*t);
+                --remaining;
+            }
+        }
+    }
+
+    if (hostSink_) {
+        StatGroup g("host");
+        hostStats(g);
+        hostSink_->setCounters(obs::counterMapFromStats(g));
+        hostSink_->finish();
+        hostSink_.reset();
+    }
+
+    std::vector<HostTenantResult> results;
+    results.reserve(tenants_.size());
+    for (auto &t : tenants_) {
+        t->result.host = t->host;
+        results.push_back(t->result);
+    }
+    return results;
+}
+
+void
+HostNode::hostStats(StatGroup &g) const
+{
+    for (const auto &t : tenants_) {
+        const HostTenantStats &h = t->host;
+        const std::uint32_t i = t->index;
+        g.scalar(tenantKey(i, "dispatches"))
+            .inc(static_cast<double>(h.dispatches));
+        g.scalar(tenantKey(i, "ctx_switches"))
+            .inc(static_cast<double>(h.ctxSwitches));
+        g.scalar(tenantKey(i, "migrations"))
+            .inc(static_cast<double>(h.migrations));
+        g.scalar(tenantKey(i, "shootdowns"))
+            .inc(static_cast<double>(h.shootdowns));
+        g.scalar(tenantKey(i, "tlb_flushes"))
+            .inc(static_cast<double>(h.tlbFlushes));
+        g.scalar(tenantKey(i, "pwc_flushes"))
+            .inc(static_cast<double>(h.pwcFlushes));
+        g.scalar(tenantKey(i, "reg_hits"))
+            .inc(static_cast<double>(h.regHits));
+        g.scalar(tenantKey(i, "reg_loads"))
+            .inc(static_cast<double>(h.regLoads));
+        g.scalar(tenantKey(i, "reg_saves"))
+            .inc(static_cast<double>(h.regSaves));
+        g.scalar(tenantKey(i, "switch_cycles"))
+            .inc(static_cast<double>(h.switchCycles));
+        g.scalar(tenantKey(i, "shootdown_cycles"))
+            .inc(static_cast<double>(h.shootdownCycles));
+        g.scalar(tenantKey(i, "coherence_cycles"))
+            .inc(static_cast<double>(h.coherenceCycles));
+    }
+}
+
+const CoreRegisterFile &
+HostNode::coreFile(unsigned core) const
+{
+    DMT_ASSERT(core < coreFiles_.size(), "core %u out of range",
+               core);
+    return coreFiles_[core];
+}
+
+} // namespace dmt::host

@@ -1,0 +1,132 @@
+#include "host/register_file.hh"
+
+#include "check/audit.hh"
+
+namespace dmt::host
+{
+
+TouchResult
+CoreRegisterFile::touch(std::uint32_t tenant, std::uint8_t reg,
+                        bool pinned)
+{
+    ++tick_;
+    TouchResult res;
+    for (int i = 0; i < capacity; ++i) {
+        Slot &s = slots_[i];
+        if (s.tenant == tenant && s.reg == reg) {
+            s.lastUse = tick_;
+            s.pinned = s.pinned || pinned;
+            res.hit = true;
+            res.victim = i;
+            return res;
+        }
+    }
+    // Miss: first-minimum lastUse among non-pinned slots — empty
+    // slots keep lastUse 0 and win; ties go to the lowest index
+    // (the same victim rule the TLB/PWC SoA banks use).
+    int victim = -1;
+    std::uint64_t best = ~std::uint64_t{0};
+    for (int i = 0; i < capacity; ++i) {
+        const Slot &s = slots_[i];
+        if (s.pinned && s.tenant != kNoTenant)
+            continue;
+        if (s.lastUse < best) {
+            best = s.lastUse;
+            victim = i;
+        }
+    }
+    if (victim < 0)
+        return res;  // every slot pinned: uncached load
+    Slot &s = slots_[victim];
+    res.loaded = true;
+    res.victim = victim;
+    res.evicted = s.tenant != kNoTenant;
+    s.tenant = tenant;
+    s.reg = reg;
+    s.pinned = pinned;
+    s.lastUse = tick_;
+    return res;
+}
+
+int
+CoreRegisterFile::invalidateTenant(std::uint32_t tenant)
+{
+    int dropped = 0;
+    for (Slot &s : slots_) {
+        if (s.tenant == tenant) {
+            s = Slot{};
+            ++dropped;
+        }
+    }
+    return dropped;
+}
+
+void
+CoreRegisterFile::clear()
+{
+    for (Slot &s : slots_)
+        s = Slot{};
+}
+
+int
+CoreRegisterFile::occupancy() const
+{
+    int n = 0;
+    for (const Slot &s : slots_)
+        n += s.tenant != kNoTenant ? 1 : 0;
+    return n;
+}
+
+int
+CoreRegisterFile::resident(std::uint32_t tenant) const
+{
+    int n = 0;
+    for (const Slot &s : slots_)
+        n += s.tenant == tenant ? 1 : 0;
+    return n;
+}
+
+void
+CoreRegisterFile::audit(AuditSink &sink) const
+{
+    int occupied = 0;
+    for (int i = 0; i < capacity; ++i) {
+        const Slot &s = slots_[i];
+        if (s.tenant == kNoTenant) {
+            DMT_AUDIT_CHECK(sink, s.lastUse == 0 && !s.pinned,
+                            "core regfile slot %d empty but not "
+                            "reset (lastUse %llu pinned %d)",
+                            i,
+                            static_cast<unsigned long long>(
+                                s.lastUse),
+                            s.pinned ? 1 : 0);
+            continue;
+        }
+        ++occupied;
+        DMT_AUDIT_CHECK(sink, s.reg < DmtRegisterFile::capacity,
+                        "core regfile slot %d holds architectural "
+                        "register %u beyond the per-level file of %d",
+                        i, static_cast<unsigned>(s.reg),
+                        DmtRegisterFile::capacity);
+        DMT_AUDIT_CHECK(sink, s.lastUse <= tick_,
+                        "core regfile slot %d LRU stamp %llu ahead "
+                        "of clock %llu",
+                        i,
+                        static_cast<unsigned long long>(s.lastUse),
+                        static_cast<unsigned long long>(tick_));
+        for (int j = i + 1; j < capacity; ++j) {
+            const Slot &o = slots_[j];
+            DMT_AUDIT_CHECK(sink,
+                            !(o.tenant == s.tenant && o.reg == s.reg),
+                            "core regfile slots %d and %d both hold "
+                            "(tenant %u, reg %u)",
+                            i, j, s.tenant,
+                            static_cast<unsigned>(s.reg));
+        }
+    }
+    DMT_AUDIT_CHECK(sink, occupied <= capacity,
+                    "core regfile occupancy %d exceeds capacity %d",
+                    occupied, capacity);
+}
+
+} // namespace dmt::host

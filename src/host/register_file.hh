@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The physical per-core DMT register file under multi-tenancy.
+ *
+ * The paper provisions 16 DMT registers per core (§4.1); a single
+ * guest owns all of them. When a node time-slices many tenants over
+ * one core with VMID-tagged retention, the physical file becomes a
+ * cache of (tenant, architectural register) pairs: a switched-in
+ * tenant's registers may still be resident from its last slice
+ * (hit, free) or must be reloaded from task state (miss, charged),
+ * evicting the least-recently-used non-pinned entry. Under the full
+ * flush policy the file is cleared at every switch instead.
+ *
+ * This is a host-level occupancy model: it decides and counts
+ * hits/loads/evictions but never touches the tenants' architectural
+ * DmtRegisterFile contents, so the translation simulation of each
+ * tenant stays byte-identical to its isolated run.
+ */
+
+#ifndef DMT_HOST_REGISTER_FILE_HH
+#define DMT_HOST_REGISTER_FILE_HH
+
+#include <array>
+#include <cstdint>
+
+#include "core/dmt_registers.hh"
+
+namespace dmt
+{
+
+class AuditSink;
+
+namespace host
+{
+
+/** Sentinel tenant id for an empty slot. */
+inline constexpr std::uint32_t kNoTenant = ~std::uint32_t{0};
+
+/** Outcome of one CoreRegisterFile::touch. */
+struct TouchResult
+{
+    bool hit = false;      //!< the pair was already resident
+    bool loaded = false;   //!< installed (false when all-pinned full)
+    int victim = -1;       //!< slot evicted/filled (-1 = none)
+    bool evicted = false;  //!< the victim slot held another entry
+};
+
+/**
+ * The physical register file of one core: 16 slots caching
+ * (tenant, architectural-register) pairs with LRU replacement and
+ * per-entry pinning.
+ */
+class CoreRegisterFile
+{
+  public:
+    static constexpr int capacity = DmtRegisterFile::capacity;
+
+    /**
+     * Reference a tenant's architectural register `reg` at
+     * switch-in. Hit: bumps LRU. Miss: installs into the first
+     * least-recently-used non-pinned slot (empty slots, stamped 0,
+     * always win). If every slot is pinned by other entries the
+     * reference stays uncached (loaded = false) — the caller charges
+     * an uncached load but nothing is evicted.
+     *
+     * @param pinned pin the entry on install (survives eviction)
+     */
+    TouchResult touch(std::uint32_t tenant, std::uint8_t reg,
+                      bool pinned = false);
+
+    /** Drop every entry of one tenant. @return entries dropped. */
+    int invalidateTenant(std::uint32_t tenant);
+
+    /** Drop everything (full-flush switch). Pins do not survive a
+     *  full flush: the policy models untagged hardware, which cannot
+     *  tell a pinned line from any other. */
+    void clear();
+
+    /** Occupied slots. */
+    int occupancy() const;
+
+    /** Entries resident for one tenant. */
+    int resident(std::uint32_t tenant) const;
+
+    /**
+     * Audit-layer entry point: occupancy bounds, no duplicate
+     * (tenant, reg) pairs, LRU stamps behind the clock, empty slots
+     * fully reset. Registered per core by HostNode::attachAuditor.
+     */
+    void audit(AuditSink &sink) const;
+
+    std::uint64_t tick() const { return tick_; }
+
+  private:
+    struct Slot
+    {
+        std::uint32_t tenant = kNoTenant;
+        std::uint8_t reg = 0;
+        bool pinned = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::array<Slot, capacity> slots_{};
+    std::uint64_t tick_ = 0;
+};
+
+} // namespace host
+} // namespace dmt
+
+#endif // DMT_HOST_REGISTER_FILE_HH

@@ -270,6 +270,8 @@ class NestedTestbed
     const DmtNestedFetcher *dmtFetcher() const { return dmt_.get(); }
     const ShadowPager *shadowPager() const { return shadow_.get(); }
     NestedTeaHypercall *l2Hypercall() { return l2Hypercall_.get(); }
+    /** The L2 process's architectural register file (task state). */
+    DmtRegisterFile &registers() { return l2Regs_; }
 
   private:
     TestbedConfig config_;

@@ -1,7 +1,6 @@
 #include "sim/translation_sim.hh"
 
 #include <algorithm>
-#include <array>
 #include <utility>
 
 #include "common/log.hh"
@@ -28,20 +27,6 @@ narrow16(std::uint64_t v)
                static_cast<unsigned long long>(v));
     return static_cast<std::uint16_t>(v);
 }
-
-/**
- * Flat step-cost accumulator cell. The batched pipeline replaces the
- * scalar loop's per-step std::map lookup with an indexed array of
- * these, folded into SimResult::stepCosts once per run.
- */
-struct StepCell
-{
-    std::uint64_t cycles = 0;
-    std::uint64_t count = 0;
-};
-
-/** Cells: Figure-16 slots (1-24) below 32, (dim, level) pairs above. */
-constexpr int kStepCells = 64;
 
 /** Flat cell index for one step's (slot | dim, level) key. */
 int
@@ -94,25 +79,64 @@ TranslationSimulator::TranslationSimulator(
 SimResult
 TranslationSimulator::run(TraceSource &trace, const SimConfig &config)
 {
-    return sink_ ? runImpl<true>(trace, config)
-                 : runImpl<false>(trace, config);
-}
-
-template <bool kTrace>
-SimResult
-TranslationSimulator::runImpl(TraceSource &trace,
-                              const SimConfig &config)
-{
-    return config.batchSize <= 1 ? runScalar<kTrace>(trace, config)
-                                 : runBatched<kTrace>(trace, config);
-}
-
-template <bool kTrace>
-SimResult
-TranslationSimulator::runScalar(TraceSource &trace,
-                                const SimConfig &config)
-{
     SimResult result;
+    SimStepCells cells;
+    const std::uint64_t total =
+        config.warmupAccesses + config.measureAccesses;
+    runRange(trace, config, result, cells, 0, total);
+    foldStepCells(cells, result);
+    return result;
+}
+
+void
+TranslationSimulator::runRange(TraceSource &trace,
+                               const SimConfig &config,
+                               SimResult &result, SimStepCells &cells,
+                               std::uint64_t begin, std::uint64_t end)
+{
+    if (begin >= end)
+        return;
+    if (config.batchSize <= 1) {
+        if (sink_)
+            scalarRange<true>(trace, config, result, cells, begin,
+                              end);
+        else
+            scalarRange<false>(trace, config, result, cells, begin,
+                               end);
+    } else {
+        if (sink_)
+            batchedRange<true>(trace, config, result, cells, begin,
+                               end);
+        else
+            batchedRange<false>(trace, config, result, cells, begin,
+                                end);
+    }
+}
+
+void
+TranslationSimulator::foldStepCells(const SimStepCells &cells,
+                                    SimResult &result)
+{
+    // Cell sums are integral; one double conversion per cell equals
+    // the former per-walk double adds exactly (all values < 2^53).
+    for (int idx = 0; idx < SimStepCells::kCells; ++idx) {
+        if (cells.counts[idx] == 0)
+            continue;
+        auto &dst = result.stepCosts[stepCellKey(idx)];
+        dst.first += static_cast<double>(cells.cycles[idx]);
+        dst.second += static_cast<Counter>(cells.counts[idx]);
+    }
+}
+
+template <bool kTrace>
+void
+TranslationSimulator::scalarRange(TraceSource &trace,
+                                  const SimConfig &config,
+                                  SimResult &result,
+                                  SimStepCells &cells,
+                                  std::uint64_t begin,
+                                  std::uint64_t end)
+{
     // Traced runs always record steps so events carry the per-step
     // walk breakdown; the untraced path honours the config as before.
     mechanism_.recordSteps(kTrace || config.recordSteps);
@@ -120,9 +144,7 @@ TranslationSimulator::runScalar(TraceSource &trace,
     static const std::vector<WalkStepCost> kNoSteps;
     if constexpr (kTrace)
         caches_.setEventTally(&tally);
-    const std::uint64_t total =
-        config.warmupAccesses + config.measureAccesses;
-    for (std::uint64_t i = 0; i < total; ++i) {
+    for (std::uint64_t i = begin; i < end; ++i) {
         const bool measuring = i >= config.warmupAccesses;
         const Addr va = trace.next();
         PageSize hitSize = PageSize::Size4K;
@@ -157,17 +179,9 @@ TranslationSimulator::runScalar(TraceSource &trace,
                 for (const auto &step : rec.steps) {
                     // Figure 16 slots aggregate by walk position;
                     // everything else by (dimension, level).
-                    const auto key =
-                        step.slot >= 0
-                            ? std::make_pair('s',
-                                             static_cast<int>(
-                                                 step.slot))
-                            : std::make_pair(step.dim,
-                                             static_cast<int>(
-                                                 step.level));
-                    auto &cell = result.stepCosts[key];
-                    cell.first += static_cast<double>(step.cycles);
-                    ++cell.second;
+                    const int idx = stepCellIndex(step);
+                    cells.cycles[idx] += step.cycles;
+                    ++cells.counts[idx];
                 }
             }
             // The data access, at the walked physical address.
@@ -229,15 +243,17 @@ TranslationSimulator::runScalar(TraceSource &trace,
     }
     if constexpr (kTrace)
         caches_.setEventTally(nullptr);
-    return result;
 }
 
 template <bool kTrace>
-SimResult
-TranslationSimulator::runBatched(TraceSource &trace,
-                                 const SimConfig &config)
+void
+TranslationSimulator::batchedRange(TraceSource &trace,
+                                   const SimConfig &config,
+                                   SimResult &result,
+                                   SimStepCells &cells,
+                                   std::uint64_t begin,
+                                   std::uint64_t end)
 {
-    SimResult result;
     mechanism_.recordSteps(kTrace || config.recordSteps);
     CacheTally tally;
     static const std::vector<WalkStepCost> kNoSteps;
@@ -249,7 +265,6 @@ TranslationSimulator::runBatched(TraceSource &trace,
     std::vector<Addr> vas(batch);
     std::vector<Addr> missVas;
     missVas.reserve(batch);
-    std::array<StepCell, kStepCells> stepCells{};
 
     // Hint-stage gate: when the simulated model state is small enough
     // to live in the host's caches, warming it ahead of stage 4 buys
@@ -265,11 +280,9 @@ TranslationSimulator::runBatched(TraceSource &trace,
     const bool hostHints =
         modelBytes >= config.prefetchMinModelBytes;
 
-    const std::uint64_t total =
-        config.warmupAccesses + config.measureAccesses;
-    std::uint64_t i = 0;
-    while (i < total) {
-        std::uint64_t n = std::min(batch, total - i);
+    std::uint64_t i = begin;
+    while (i < end) {
+        std::uint64_t n = std::min(batch, end - i);
         // Batches never straddle the warmup boundary, so `measuring`
         // is one branch per batch instead of one per access.
         if (i < config.warmupAccesses)
@@ -334,10 +347,9 @@ TranslationSimulator::runBatched(TraceSource &trace,
                     ++bs.fallbacks;
                 if (measuring) {
                     for (const auto &step : rec.steps) {
-                        StepCell &cell =
-                            stepCells[stepCellIndex(step)];
-                        cell.cycles += step.cycles;
-                        ++cell.count;
+                        const int idx = stepCellIndex(step);
+                        cells.cycles[idx] += step.cycles;
+                        ++cells.counts[idx];
                     }
                 }
                 // The data access, at the walked physical address.
@@ -417,24 +429,67 @@ TranslationSimulator::runBatched(TraceSource &trace,
         i += n;
     }
 
-    // Fold the flat step-cost cells into the map, once per run.
-    for (int idx = 0; idx < kStepCells; ++idx) {
-        const StepCell &cell = stepCells[idx];
-        if (cell.count == 0)
-            continue;
-        auto &dst = result.stepCosts[stepCellKey(idx)];
-        dst.first += static_cast<double>(cell.cycles);
-        dst.second += static_cast<Counter>(cell.count);
-    }
     if constexpr (kTrace)
         caches_.setEventTally(nullptr);
-    return result;
 }
 
-template SimResult
-TranslationSimulator::runImpl<false>(TraceSource &,
-                                     const SimConfig &);
-template SimResult
-TranslationSimulator::runImpl<true>(TraceSource &, const SimConfig &);
+template void
+TranslationSimulator::scalarRange<false>(TraceSource &,
+                                         const SimConfig &,
+                                         SimResult &, SimStepCells &,
+                                         std::uint64_t,
+                                         std::uint64_t);
+template void
+TranslationSimulator::scalarRange<true>(TraceSource &,
+                                        const SimConfig &,
+                                        SimResult &, SimStepCells &,
+                                        std::uint64_t, std::uint64_t);
+template void
+TranslationSimulator::batchedRange<false>(TraceSource &,
+                                          const SimConfig &,
+                                          SimResult &, SimStepCells &,
+                                          std::uint64_t,
+                                          std::uint64_t);
+template void
+TranslationSimulator::batchedRange<true>(TraceSource &,
+                                         const SimConfig &,
+                                         SimResult &, SimStepCells &,
+                                         std::uint64_t,
+                                         std::uint64_t);
+
+SimSession::SimSession(TranslationSimulator &sim, TraceSource &trace,
+                       const SimConfig &config)
+    : sim_(sim), trace_(trace), config_(config),
+      total_(config.warmupAccesses + config.measureAccesses)
+{
+}
+
+std::uint64_t
+SimSession::advance(std::uint64_t max_accesses)
+{
+    std::uint64_t n = total_ - cursor_;
+    if (max_accesses != 0 && max_accesses < n)
+        n = max_accesses;
+    if (n == 0)
+        return 0;
+    sim_.runRange(trace_, config_, result_, cells_, cursor_,
+                  cursor_ + n);
+    cursor_ += n;
+    return n;
+}
+
+const SimResult &
+SimSession::result()
+{
+    DMT_ASSERT(done(), "SimSession::result before completion "
+                       "(%llu of %llu accesses)",
+               static_cast<unsigned long long>(cursor_),
+               static_cast<unsigned long long>(total_));
+    if (!folded_) {
+        TranslationSimulator::foldStepCells(cells_, result_);
+        folded_ = true;
+    }
+    return result_;
+}
 
 } // namespace dmt

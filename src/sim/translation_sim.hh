@@ -147,6 +147,21 @@ struct BatchStats
     Counter parallelRefs = 0;
 };
 
+/**
+ * Flat step-cost accumulator of the batched pipeline: Figure-16
+ * slots (1-24) occupy cells below 32, (dimension, level) pairs the
+ * cells above. Replaces the scalar loop's per-step std::map lookup;
+ * folded into SimResult::stepCosts once per run (or once per
+ * SimSession, whose slices all accumulate into the same cells, so
+ * slicing cannot change the fold).
+ */
+struct SimStepCells
+{
+    static constexpr int kCells = 64;
+    std::uint64_t cycles[kCells] = {};
+    std::uint64_t counts[kCells] = {};
+};
+
 /** Drives traces through TLBs, the mechanism, and the caches. */
 class TranslationSimulator
 {
@@ -158,6 +173,25 @@ class TranslationSimulator
     SimResult run(TraceSource &trace, const SimConfig &config);
 
     /**
+     * Run accesses [begin, end) of the warmup + measurement stream,
+     * accumulating into caller-held state. run() is one call over
+     * the whole range; SimSession (and through it the host node's
+     * time slicing) issues many. Any partition of [0, total) into
+     * consecutive ranges produces results and event streams
+     * byte-identical to one run() — the batched pipeline's
+     * batch-partition invariance (ctest -L perf) is exactly this
+     * property, and the scalar loop carries no cross-access state
+     * outside the simulated structures.
+     */
+    void runRange(TraceSource &trace, const SimConfig &config,
+                  SimResult &result, SimStepCells &cells,
+                  std::uint64_t begin, std::uint64_t end);
+
+    /** Fold flat step cells into SimResult::stepCosts (once). */
+    static void foldStepCells(const SimStepCells &cells,
+                              SimResult &result);
+
+    /**
      * Attach (nullptr to detach) an event sink receiving one
      * TranslationEvent per simulated access. The hot loop is
      * instantiated separately for the traced and untraced cases, so
@@ -166,21 +200,64 @@ class TranslationSimulator
     void setEventSink(obs::EventSink *sink) { sink_ = sink; }
 
   private:
-    template <bool kTrace>
-    SimResult runImpl(TraceSource &trace, const SimConfig &config);
-
     /** The scalar reference loop (batchSize <= 1). */
     template <bool kTrace>
-    SimResult runScalar(TraceSource &trace, const SimConfig &config);
+    void scalarRange(TraceSource &trace, const SimConfig &config,
+                     SimResult &result, SimStepCells &cells,
+                     std::uint64_t begin, std::uint64_t end);
 
     /** The struct-of-arrays batched pipeline (batchSize > 1). */
     template <bool kTrace>
-    SimResult runBatched(TraceSource &trace, const SimConfig &config);
+    void batchedRange(TraceSource &trace, const SimConfig &config,
+                      SimResult &result, SimStepCells &cells,
+                      std::uint64_t begin, std::uint64_t end);
 
     TranslationMechanism &mechanism_;
     TlbHierarchy &tlbs_;
     MemoryHierarchy &caches_;
     obs::EventSink *sink_ = nullptr;
+};
+
+/**
+ * A resumable simulation: the same warmup + measurement stream run()
+ * executes, sliceable into advance() calls of any size. The host
+ * node scheduler interleaves many of these, one per tenant, running
+ * each for a time slice before switching; because every slice goes
+ * through TranslationSimulator::runRange, the concatenation of
+ * slices is byte-identical to one uninterrupted run().
+ */
+class SimSession
+{
+  public:
+    SimSession(TranslationSimulator &sim, TraceSource &trace,
+               const SimConfig &config);
+
+    /**
+     * Execute up to `max_accesses` further accesses (0 = all
+     * remaining). @return the number actually executed (less than
+     * requested only at end of stream).
+     */
+    std::uint64_t advance(std::uint64_t max_accesses = 0);
+
+    bool done() const { return cursor_ == total_; }
+    std::uint64_t cursor() const { return cursor_; }
+    std::uint64_t total() const { return total_; }
+
+    /**
+     * The completed result. Call only when done(); folds the step
+     * cells on first use.
+     */
+    const SimResult &result();
+
+  private:
+    TranslationSimulator &sim_;
+    TraceSource &trace_;
+    SimConfig config_;
+    SimResult result_;
+    SimStepCells cells_;
+    std::uint64_t cursor_ = 0;
+    std::uint64_t total_;
+    bool folded_ = false;
 };
 
 } // namespace dmt

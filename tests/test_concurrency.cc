@@ -22,6 +22,7 @@
 #include "common/log.hh"
 #include "common/stats.hh"
 #include "driver/campaign.hh"
+#include "host/sweep.hh"
 #include "sim/testbed.hh"
 #include "workloads/workloads.hh"
 
@@ -215,6 +216,38 @@ TEST(Concurrency, ManagementStatsRegisterEveryCounter)
             g, {"tea.l0", "tea.l1", "tea.l2"},
             {"mapping.l0", "mapping.l1", "mapping.l2"});
     }
+}
+
+/**
+ * The dmt-node sweep carries the same contract as the campaign: each
+ * sweep point is a shared-nothing HostNode with identity-only tenant
+ * seeds, so the merged dmt-node-v1 report must be byte-identical for
+ * any worker count — including oversubscription. Runs under the CI
+ * TSan leg via the `concurrency` label, so a data race between
+ * concurrently running nodes is a hard failure here too.
+ */
+TEST(Concurrency, NodeSweepReportByteIdenticalAcrossThreadCounts)
+{
+    host::NodeSweepConfig cfg;
+    cfg.tenantsPerCore = {1, 2, 4, 8};
+    cfg.cores = 2;
+    cfg.workloads = {"GUPS", "BTree"};
+    cfg.sliceAccesses = 128;
+    cfg.migrateEveryRounds = 4;
+    cfg.scale = 1.0 / 512.0;
+    cfg.sim.warmupAccesses = 200;
+    cfg.sim.measureAccesses = 1'000;
+
+    const auto serial = host::runNodeSweep(cfg, 1);
+    const auto parallel = host::runNodeSweep(cfg, 4);
+    const auto oversubscribed = host::runNodeSweep(cfg, 16);
+
+    std::ostringstream a, b, c;
+    host::emitNodeJson(a, cfg, serial);
+    host::emitNodeJson(b, cfg, parallel);
+    host::emitNodeJson(c, cfg, oversubscribed);
+    EXPECT_EQ(a.str(), b.str());
+    EXPECT_EQ(a.str(), c.str());
 }
 
 } // namespace

@@ -8,9 +8,12 @@
 
 #include <gtest/gtest.h>
 
+#include "check/invariant_auditor.hh"
+#include "common/rng.hh"
 #include "common/stats.hh"
 #include "core/dmt_fetcher.hh"
 #include "core/mapping_manager.hh"
+#include "host/register_file.hh"
 #include "mem/physical_memory.hh"
 #include "sim/testbed.hh"
 #include "virt/nested_walker.hh"
@@ -287,6 +290,170 @@ TEST(CalibrationSanity, GeomeansTrackFigure4Averages)
     EXPECT_NEAR(geoMean(virtTotals), 1.46, 0.08);
     EXPECT_NEAR(geoMean(nestedTotals), 4.13, 0.40);
     EXPECT_NEAR(geoMean(natWalk), 0.21, 0.05);
+}
+
+// ----------------------- §10 host core register file (random walks)
+
+/**
+ * Executable restatement of CoreRegisterFile's contract, evolved in
+ * lockstep with the real one under a random schedule: LRU with
+ * first-minimum tie-breaking, pinned entries exempt from eviction,
+ * empty slots always claimed first.
+ */
+struct RegFileModel
+{
+    struct Entry
+    {
+        std::uint32_t tenant;
+        std::uint8_t reg;
+        bool pinned;
+        std::uint64_t lastUse;
+    };
+    std::vector<Entry> slots =
+        std::vector<Entry>(host::CoreRegisterFile::capacity,
+                           {host::kNoTenant, 0, false, 0});
+    std::uint64_t tick = 0;
+
+    /** @return {hit, loaded} mirroring TouchResult. */
+    std::pair<bool, bool>
+    touch(std::uint32_t tenant, std::uint8_t reg, bool pinned)
+    {
+        ++tick;
+        for (Entry &e : slots) {
+            if (e.tenant == tenant && e.reg == reg) {
+                e.lastUse = tick;
+                e.pinned = e.pinned || pinned;
+                return {true, false};
+            }
+        }
+        int victim = -1;
+        std::uint64_t best = ~std::uint64_t{0};
+        for (std::size_t i = 0; i < slots.size(); ++i) {
+            if (slots[i].pinned && slots[i].tenant != host::kNoTenant)
+                continue;
+            if (slots[i].lastUse < best) {
+                best = slots[i].lastUse;
+                victim = static_cast<int>(i);
+            }
+        }
+        if (victim < 0)
+            return {false, false};
+        slots[victim] = {tenant, reg, pinned, tick};
+        return {false, true};
+    }
+
+    void
+    invalidate(std::uint32_t tenant)
+    {
+        for (Entry &e : slots) {
+            if (e.tenant == tenant)
+                e = {host::kNoTenant, 0, false, 0};
+        }
+    }
+
+    int
+    occupancy() const
+    {
+        int n = 0;
+        for (const Entry &e : slots)
+            n += e.tenant != host::kNoTenant ? 1 : 0;
+        return n;
+    }
+
+    int
+    resident(std::uint32_t tenant) const
+    {
+        int n = 0;
+        for (const Entry &e : slots)
+            n += e.tenant == tenant ? 1 : 0;
+        return n;
+    }
+};
+
+TEST(CoreRegFileProperties, RandomScheduleMatchesReferenceModel)
+{
+    host::CoreRegisterFile file;
+    RegFileModel model;
+    InvariantAuditor auditor;
+    const int hookId = auditor.registerHook(
+        "test:regfile",
+        [&file](AuditSink &sink) { file.audit(sink); });
+
+    Rng rng(0xDECAFBADu);
+    constexpr std::uint32_t kTenants = 6;
+    for (int op = 0; op < 20'000; ++op) {
+        const std::uint64_t kind = rng.below(100);
+        if (kind < 90) {
+            const auto tenant =
+                static_cast<std::uint32_t>(rng.below(kTenants));
+            const auto reg = static_cast<std::uint8_t>(rng.below(
+                host::CoreRegisterFile::capacity));
+            // Pin rarely, and never tenant 0's registers, so the
+            // file can't wedge all-pinned.
+            const bool pin = tenant != 0 && rng.below(50) == 0;
+            const host::TouchResult res =
+                file.touch(tenant, reg, pin);
+            const auto [hit, loaded] = model.touch(tenant, reg, pin);
+            ASSERT_EQ(res.hit, hit) << "op " << op;
+            ASSERT_EQ(res.loaded, loaded) << "op " << op;
+        } else if (kind < 97) {
+            const auto tenant =
+                static_cast<std::uint32_t>(rng.below(kTenants));
+            const int dropped = file.invalidateTenant(tenant);
+            ASSERT_EQ(dropped, model.resident(tenant)) << "op " << op;
+            model.invalidate(tenant);
+        } else {
+            file.clear();
+            model = RegFileModel{};
+        }
+
+        // Occupancy agrees, never exceeds the 16-entry hardware.
+        ASSERT_EQ(file.occupancy(), model.occupancy()) << "op " << op;
+        ASSERT_LE(file.occupancy(),
+                  host::CoreRegisterFile::capacity);
+        for (std::uint32_t t = 0; t < kTenants; ++t)
+            ASSERT_EQ(file.resident(t), model.resident(t))
+                << "op " << op << " tenant " << t;
+        // The real file's own invariants hold after every op.
+        ASSERT_EQ(auditor.sweep(), 0u) << "op " << op;
+    }
+    auditor.unregisterHook(hookId);
+}
+
+TEST(CoreRegFileProperties, PinnedEntriesSurviveEvictionPressure)
+{
+    host::CoreRegisterFile file;
+    // Tenant 7 pins four registers.
+    for (std::uint8_t r = 0; r < 4; ++r)
+        EXPECT_TRUE(file.touch(7, r, /*pinned=*/true).loaded);
+    // A storm of other tenants thrashes the remaining 12 slots.
+    Rng rng(123);
+    for (int op = 0; op < 5'000; ++op) {
+        const auto tenant =
+            static_cast<std::uint32_t>(1 + rng.below(5));
+        const auto reg = static_cast<std::uint8_t>(
+            rng.below(host::CoreRegisterFile::capacity));
+        file.touch(tenant, reg, false);
+        ASSERT_EQ(file.resident(7), 4) << "op " << op;
+    }
+    // Invalidation (shootdown) is the only way pinned entries leave.
+    EXPECT_EQ(file.invalidateTenant(7), 4);
+    EXPECT_EQ(file.resident(7), 0);
+}
+
+TEST(CoreRegFileProperties, AllPinnedFileRefusesNewResidency)
+{
+    host::CoreRegisterFile file;
+    for (int r = 0; r < host::CoreRegisterFile::capacity; ++r)
+        file.touch(1, static_cast<std::uint8_t>(r), true);
+    ASSERT_EQ(file.occupancy(), host::CoreRegisterFile::capacity);
+    // A different tenant's touch neither hits nor installs.
+    const host::TouchResult res = file.touch(2, 0, false);
+    EXPECT_FALSE(res.hit);
+    EXPECT_FALSE(res.loaded);
+    EXPECT_EQ(file.resident(2), 0);
+    // The pinned owner still hits its own entries.
+    EXPECT_TRUE(file.touch(1, 0, false).hit);
 }
 
 } // namespace

@@ -1,12 +1,16 @@
 /**
  * @file
- * Replay verifier for .dmtevents logs.
+ * Replay verifier for .dmtevents and .dmthostevents logs.
  *
- * Reads a binary event log, reconstructs every translation counter
- * (TLB, PWC, radix walk, DMT fetch, nested walk, caches) from the
+ * Reads a binary event log, reconstructs every counter from the
  * event stream alone, and asserts exact equality against the counter
  * footer the producer embedded — the differential check that makes
- * every events file self-verifying. Optionally exports the log as a
+ * every events file self-verifying. The log format is dispatched on
+ * the file magic: "DMTEVTS1" logs replay the translation counters
+ * (TLB, PWC, radix walk, DMT fetch, nested walk, caches);
+ * "DMTHOST1" logs replay the node scheduler's per-tenant host
+ * counters (context switches, register traffic, flushes,
+ * shootdowns). Translation logs can optionally be exported as a
  * Chrome trace_event JSON (Perfetto / chrome://tracing) or as the
  * dmt-events-v1 summary JSON.
  *
@@ -26,6 +30,7 @@
 
 #include "obs/event_log.hh"
 #include "obs/export.hh"
+#include "obs/host_event.hh"
 #include "obs/replay.hh"
 
 namespace
@@ -53,6 +58,18 @@ writeFile(const std::string &path,
     }
     emit(os);
     return os.good();
+}
+
+/** True if the file starts with the .dmthostevents magic. */
+bool
+isHostEventLog(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    char magic[sizeof(dmt::obs::kHostEventLogMagic)] = {};
+    if (!is.read(magic, sizeof(magic)))
+        return false;
+    return std::memcmp(magic, dmt::obs::kHostEventLogMagic,
+                       sizeof(magic)) == 0;
 }
 
 } // namespace
@@ -83,6 +100,41 @@ main(int argc, char **argv)
     }
     if (file.empty())
         return usage(argv[0]);
+
+    if (isHostEventLog(file)) {
+        if (!jsonOut.empty() || !chromeOut.empty()) {
+            std::fprintf(stderr,
+                         "events_check: --json/--chrome do not apply "
+                         "to host-event logs\n");
+            return usage(argv[0]);
+        }
+        if (digest)
+            std::printf(
+                "%s  %s\n",
+                dmt::obs::digestString(dmt::obs::fileDigest(file))
+                    .c_str(),
+                file.c_str());
+        const std::vector<std::string> mismatches =
+            dmt::obs::verifyHostEventLog(file);
+        if (!mismatches.empty()) {
+            std::fprintf(
+                stderr,
+                "events_check: %zu counter mismatch(es) in %s\n",
+                mismatches.size(), file.c_str());
+            for (const std::string &m : mismatches)
+                std::fprintf(stderr, "  %s\n", m.c_str());
+            return 1;
+        }
+        if (!quiet) {
+            const dmt::obs::HostEventLog log =
+                dmt::obs::readHostEventLog(file);
+            std::printf("%s: %zu host events, %zu footer counters, "
+                        "all reconstructed exactly\n",
+                        file.c_str(), log.records.size(),
+                        log.counters.size());
+        }
+        return 0;
+    }
 
     // readEventLog() is fatal() on malformed input — a corrupt log is
     // a producer bug, not a condition to limp past.
