@@ -2,32 +2,43 @@
  * @file
  * dmt-microbench — wall-clock throughput of every hot-path subsystem.
  *
- *   dmt-microbench [--json[=PATH]] [--ops N] [--quiet]
+ *   dmt-microbench [--json[=PATH]] [--ops N] [--reps N] [--quiet]
  *
  * Reports accesses/sec for the layers the simulator's inner loop is
  * built from, bottom-up: raw PhysicalMemory words, a single TLB, the
  * full cache stack, a complete radix page walk, a complete DMT fetch,
  * and the end-to-end trace loop (TLBs + mechanism + caches). The JSON
- * document (schema dmt-microbench-v1) is the perf trajectory future
+ * document (schema dmt-microbench-v2) is the perf trajectory future
  * PRs compare against.
+ *
+ * Every row is timed `--reps` times over the same pre-built state
+ * (setup and teardown stay outside the timed region) and reports the
+ * best repetition plus the relative standard deviation across
+ * repetitions, so a reader can tell a real regression from host
+ * noise — on shared machines the per-rep spread routinely reaches
+ * tens of percent. Checked-in snapshots use --reps 8.
  *
  * Numbers are wall-clock and therefore machine-dependent and
  * non-deterministic; like the campaign timing sidecar they are
  * informational only and never part of a byte-compared artifact. The
  * checked-in BENCH_microbench.json snapshot is produced by a plain
- * Release build (no DMT_NATIVE).
+ * Release build (no DMT_NATIVE), whose SIMD backend on x86-64 is
+ * SSE2; the JSON config block records which backend was compiled in.
  */
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "common/log.hh"
 #include "common/rng.hh"
+#include "common/simd.hh"
 #include "common/stats.hh"
 #include "driver/json.hh"
 #include "mem/memory_hierarchy.hh"
@@ -45,25 +56,35 @@ namespace
 struct Options
 {
     std::uint64_t ops = 4'000'000;  //!< iterations for the raw loops
+    int reps = 3;                   //!< timed repetitions per row
     bool json = false;
     std::string jsonPath = "BENCH_microbench.json";
     bool quiet = false;
 };
 
+/** One row: best-of-N seconds plus the spread across the N reps. */
 struct BenchResult
 {
     std::string name;
     std::uint64_t ops = 0;
-    double seconds = 0.0;
+    int reps = 0;
+    double bestSeconds = 0.0;
+    /** stddev(seconds) / mean(seconds) over the repetitions. */
+    double relStddev = 0.0;
 
-    double opsPerSec() const { return safeOpsPerSec(ops, seconds); }
+    double
+    opsPerSec() const
+    {
+        return safeOpsPerSec(ops, bestSeconds);
+    }
 };
 
 [[noreturn]] void
 usage(const char *argv0)
 {
-    std::printf("usage: %s [--json[=PATH]] [--ops N] [--quiet]\n",
-                argv0);
+    std::printf(
+        "usage: %s [--json[=PATH]] [--ops N] [--reps N] [--quiet]\n",
+        argv0);
     std::exit(2);
 }
 
@@ -82,6 +103,10 @@ parse(int argc, char **argv)
             if (i + 1 >= argc)
                 usage(argv[0]);
             opt.ops = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--reps") {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            opt.reps = std::atoi(argv[++i]);
         } else if (arg == "--quiet") {
             opt.quiet = true;
         } else {
@@ -90,6 +115,8 @@ parse(int argc, char **argv)
     }
     if (opt.ops == 0)
         opt.ops = 1;
+    if (opt.reps < 1)
+        opt.reps = 1;
     return opt;
 }
 
@@ -104,9 +131,40 @@ sink(std::uint64_t v)
     sink_ += v;
 }
 
+/**
+ * Run one timed body `reps` times and fold the timings: the reported
+ * throughput is the best repetition (least host interference), the
+ * relative stddev quantifies how noisy the host was. Setup lives in
+ * the caller, outside the timed region, and is paid once per row —
+ * state deliberately stays warm across repetitions, so the first rep
+ * absorbs cold-start effects and best-of-N discards them.
+ */
+BenchResult
+repeat(const std::string &name, std::uint64_t ops, int reps,
+       const std::function<double()> &body)
+{
+    std::vector<double> seconds;
+    seconds.reserve(static_cast<std::size_t>(reps));
+    for (int r = 0; r < reps; ++r)
+        seconds.push_back(body());
+    double best = seconds[0];
+    double sum = 0.0;
+    for (double s : seconds) {
+        best = std::min(best, s);
+        sum += s;
+    }
+    const double mean = sum / static_cast<double>(reps);
+    double var = 0.0;
+    for (double s : seconds)
+        var += (s - mean) * (s - mean);
+    var /= static_cast<double>(reps);
+    const double rel = mean > 0.0 ? std::sqrt(var) / mean : 0.0;
+    return {name, ops, reps, best, rel};
+}
+
 /** Raw PhysicalMemory word reads/writes over a sparse 256 MB span. */
 BenchResult
-benchPhysicalMemory(std::uint64_t ops)
+benchPhysicalMemory(std::uint64_t ops, int reps)
 {
     PhysicalMemory mem(Addr{256} << 20);
     // Materialize a page-table-like footprint: every 64th word.
@@ -116,22 +174,25 @@ benchPhysicalMemory(std::uint64_t ops)
     std::vector<Addr> addrs(8192);
     for (auto &pa : addrs)
         pa = rng.below(mem.size() >> 3) << 3;
-    const auto start = Clock::now();
-    std::uint64_t acc = 0;
-    for (std::uint64_t i = 0; i < ops; ++i) {
-        const Addr pa = addrs[i & 8191];
-        acc += mem.read64(pa);
-        if ((i & 15) == 0)
-            mem.write64(pa, i);
-    }
-    const std::chrono::duration<double> dt = Clock::now() - start;
-    sink(acc);
-    return {"physmem.read64", ops, dt.count()};
+    return repeat("physmem.read64", ops, reps, [&] {
+        const auto start = Clock::now();
+        std::uint64_t acc = 0;
+        for (std::uint64_t i = 0; i < ops; ++i) {
+            const Addr pa = addrs[i & 8191];
+            acc += mem.read64(pa);
+            if ((i & 15) == 0)
+                mem.write64(pa, i);
+        }
+        const std::chrono::duration<double> dt =
+            Clock::now() - start;
+        sink(acc);
+        return dt.count();
+    });
 }
 
 /** Single-TLB lookups, ~90% hits, 4 KB entries only. */
 BenchResult
-benchTlb(std::uint64_t ops)
+benchTlb(std::uint64_t ops, int reps)
 {
     Tlb tlb({"ub-tlb", 1536, 12});
     Rng rng(43);
@@ -145,18 +206,21 @@ benchTlb(std::uint64_t ops)
     }
     for (Addr page = 0; page < 1024; ++page)
         tlb.insert(page << pageShift, PageSize::Size4K);
-    const auto start = Clock::now();
-    std::uint64_t hits = 0;
-    for (std::uint64_t i = 0; i < ops; ++i)
-        hits += tlb.lookup(addrs[i & 8191]).has_value();
-    const std::chrono::duration<double> dt = Clock::now() - start;
-    sink(hits);
-    return {"tlb.lookup", ops, dt.count()};
+    return repeat("tlb.lookup", ops, reps, [&] {
+        const auto start = Clock::now();
+        std::uint64_t hits = 0;
+        for (std::uint64_t i = 0; i < ops; ++i)
+            hits += tlb.lookup(addrs[i & 8191]).has_value();
+        const std::chrono::duration<double> dt =
+            Clock::now() - start;
+        sink(hits);
+        return dt.count();
+    });
 }
 
 /** Full L1/L2/LLC stack with an LLC-sized working set. */
 BenchResult
-benchCacheStack(std::uint64_t ops)
+benchCacheStack(std::uint64_t ops, int reps)
 {
     MemoryHierarchy caches;
     Rng rng(44);
@@ -164,13 +228,16 @@ benchCacheStack(std::uint64_t ops)
     std::vector<Addr> addrs(8192);
     for (auto &pa : addrs)
         pa = rng.below(span >> 6) << 6;
-    const auto start = Clock::now();
-    std::uint64_t cycles = 0;
-    for (std::uint64_t i = 0; i < ops; ++i)
-        cycles += caches.access(addrs[i & 8191]);
-    const std::chrono::duration<double> dt = Clock::now() - start;
-    sink(cycles);
-    return {"caches.access", ops, dt.count()};
+    return repeat("caches.access", ops, reps, [&] {
+        const auto start = Clock::now();
+        std::uint64_t cycles = 0;
+        for (std::uint64_t i = 0; i < ops; ++i)
+            cycles += caches.access(addrs[i & 8191]);
+        const std::chrono::duration<double> dt =
+            Clock::now() - start;
+        sink(cycles);
+        return dt.count();
+    });
 }
 
 constexpr double kScale = 1.0 / 64.0;
@@ -189,7 +256,8 @@ traceAddrs(const Workload &workload, std::size_t count)
 
 /** Full translation per call (no TLB): one design's walk() path. */
 BenchResult
-benchWalk(const std::string &name, Design design, std::uint64_t ops)
+benchWalk(const std::string &name, Design design, std::uint64_t ops,
+          int reps)
 {
     auto workload = makeWorkload("GUPS", kScale);
     NativeTestbed tb(workload->footprintBytes(),
@@ -199,19 +267,22 @@ benchWalk(const std::string &name, Design design, std::uint64_t ops)
     workload->setup(tb.proc());
     auto &mech = tb.build(design);
     const auto vas = traceAddrs(*workload, 8192);
-    const auto start = Clock::now();
-    std::uint64_t cycles = 0;
-    for (std::uint64_t i = 0; i < ops; ++i)
-        cycles += mech.walk(vas[i & 8191]).latency;
-    const std::chrono::duration<double> dt = Clock::now() - start;
-    sink(cycles);
-    return {name, ops, dt.count()};
+    return repeat(name, ops, reps, [&] {
+        const auto start = Clock::now();
+        std::uint64_t cycles = 0;
+        for (std::uint64_t i = 0; i < ops; ++i)
+            cycles += mech.walk(vas[i & 8191]).latency;
+        const std::chrono::duration<double> dt =
+            Clock::now() - start;
+        sink(cycles);
+        return dt.count();
+    });
 }
 
 /** End-to-end trace loop: TLBs + mechanism + caches. */
 BenchResult
 benchEndToEnd(const std::string &name, Design design,
-              std::uint64_t accesses, std::uint64_t batch)
+              std::uint64_t accesses, std::uint64_t batch, int reps)
 {
     auto workload = makeWorkload("GUPS", kScale);
     NativeTestbed tb(workload->footprintBytes(),
@@ -226,12 +297,16 @@ benchEndToEnd(const std::string &name, Design design,
     config.warmupAccesses = accesses / 5;
     config.measureAccesses = accesses;
     config.batchSize = batch;
-    const auto start = Clock::now();
-    const SimResult res = sim.run(*trace, config);
-    const std::chrono::duration<double> dt = Clock::now() - start;
-    sink(res.accesses);
-    return {name, config.warmupAccesses + config.measureAccesses,
-            dt.count()};
+    return repeat(name,
+                  config.warmupAccesses + config.measureAccesses,
+                  reps, [&] {
+                      const auto start = Clock::now();
+                      const SimResult res = sim.run(*trace, config);
+                      const std::chrono::duration<double> dt =
+                          Clock::now() - start;
+                      sink(res.accesses);
+                      return dt.count();
+                  });
 }
 
 } // namespace
@@ -242,30 +317,36 @@ main(int argc, char **argv)
     const Options opt = parse(argc, argv);
 
     std::vector<BenchResult> results;
-    results.push_back(benchPhysicalMemory(opt.ops));
-    results.push_back(benchTlb(opt.ops));
-    results.push_back(benchCacheStack(opt.ops));
+    results.push_back(benchPhysicalMemory(opt.ops, opt.reps));
+    results.push_back(benchTlb(opt.ops, opt.reps));
+    results.push_back(benchCacheStack(opt.ops, opt.reps));
     const std::uint64_t walkOps = opt.ops / 20;
     results.push_back(
-        benchWalk("radix.walk", Design::Vanilla, walkOps));
-    results.push_back(benchWalk("dmt.fetch", Design::Dmt, walkOps));
-    results.push_back(benchEndToEnd("e2e.vanilla", Design::Vanilla,
-                                    walkOps, kDefaultSimBatch));
-    results.push_back(benchEndToEnd("e2e.dmt", Design::Dmt, walkOps,
-                                    kDefaultSimBatch));
-    results.push_back(benchEndToEnd("e2e.vanilla.scalar",
-                                    Design::Vanilla, walkOps, 1));
+        benchWalk("radix.walk", Design::Vanilla, walkOps, opt.reps));
     results.push_back(
-        benchEndToEnd("e2e.dmt.scalar", Design::Dmt, walkOps, 1));
+        benchWalk("dmt.fetch", Design::Dmt, walkOps, opt.reps));
+    results.push_back(benchEndToEnd("e2e.vanilla", Design::Vanilla,
+                                    walkOps, kDefaultSimBatch,
+                                    opt.reps));
+    results.push_back(benchEndToEnd("e2e.dmt", Design::Dmt, walkOps,
+                                    kDefaultSimBatch, opt.reps));
+    results.push_back(benchEndToEnd("e2e.vanilla.scalar",
+                                    Design::Vanilla, walkOps, 1,
+                                    opt.reps));
+    results.push_back(benchEndToEnd("e2e.dmt.scalar", Design::Dmt,
+                                    walkOps, 1, opt.reps));
 
     if (!opt.quiet) {
-        std::printf("%-14s %12s %10s %14s\n", "subsystem", "ops",
-                    "seconds", "accesses/sec");
+        std::printf("simd backend: %s\n", simd::backendName());
+        std::printf("%-18s %12s %5s %10s %14s %8s\n", "subsystem",
+                    "ops", "reps", "best s", "accesses/sec",
+                    "rel sd");
         for (const auto &r : results)
-            std::printf("%-14s %12llu %10.3f %14.0f\n",
+            std::printf("%-18s %12llu %5d %10.3f %14.0f %7.1f%%\n",
                         r.name.c_str(),
                         static_cast<unsigned long long>(r.ops),
-                        r.seconds, r.opsPerSec());
+                        r.reps, r.bestSeconds, r.opsPerSec(),
+                        r.relStddev * 100.0);
     }
 
     if (opt.json) {
@@ -275,12 +356,14 @@ main(int argc, char **argv)
                   opt.jsonPath.c_str());
         JsonWriter json(os);
         json.beginObject();
-        json.field("schema", "dmt-microbench-v1");
+        json.field("schema", "dmt-microbench-v2");
         json.key("config");
         json.beginObject();
         json.field("ops", opt.ops);
+        json.field("reps", static_cast<std::uint64_t>(opt.reps));
         json.field("workload", "GUPS");
         json.field("scale_denominator", 1.0 / kScale);
+        json.field("simd", simd::backendName());
         json.endObject();
         json.key("results");
         json.beginArray();
@@ -288,8 +371,10 @@ main(int argc, char **argv)
             json.beginObject();
             json.field("name", r.name);
             json.field("ops", r.ops);
-            json.field("seconds", r.seconds);
+            json.field("reps", static_cast<std::uint64_t>(r.reps));
+            json.field("best_seconds", r.bestSeconds);
             json.field("ops_per_sec", r.opsPerSec());
+            json.field("rel_stddev", r.relStddev);
             json.endObject();
         }
         json.endArray();

@@ -8,85 +8,6 @@
 namespace dmt
 {
 
-DirectProbe
-directProbe(const DmtRegisterFile &regs, const Memory &mem,
-            MemoryHierarchy &caches, Addr va, const GteaTable *gtable,
-            const Memory::ReadWindow *win)
-{
-    DirectProbe out;
-    const DmtRegister *matches[3];
-    const int n = regs.matchAll(va, matches);
-    if (n == 0)
-        return out;
-    out.matched = true;
-    for (int s = 0; s < 3; ++s) {
-        const DmtRegister *reg = matches[s];
-        if (!reg)
-            continue;
-        Addr pteAddr;
-        if (reg->gteaId >= 0) {
-            DMT_ASSERT(gtable != nullptr,
-                       "pvDMT register without a gTEA table");
-            const std::uint64_t index =
-                (va - reg->tea.coverBase) >>
-                pageShiftOf(reg->tea.leafSize);
-            const auto resolved =
-                gtable->resolvePte(reg->gteaId, index);
-            if (!resolved) {
-                out.faulted = true;
-                continue;
-            }
-            pteAddr = *resolved;
-        } else {
-            pteAddr = reg->tea.pteAddr(va);
-        }
-        // All probes issue in parallel. The translation completes
-        // when the probe holding the (unique) present leaf returns;
-        // losing probes cost bandwidth but their lines are not kept.
-        ++out.probes;
-        const std::uint64_t pte =
-            win ? win->read(mem, pteAddr) : mem.read64(pteAddr);
-        bool winner = pteIsPresent(pte);
-        // A 2 MB/1 GB TEA slot can hold a non-leaf (table pointer)
-        // entry for regions mapped with smaller pages; only a leaf
-        // counts.
-        const int level =
-            RadixPageTable::leafLevel(reg->tea.leafSize);
-        if (winner && level > 1 && !pteIsHuge(pte))
-            winner = false;
-        if (!winner) {
-            const Cycles cost = caches.accessClean(pteAddr);
-            // If nothing ends up present the walk faults; charge the
-            // slowest probe in that case.
-            if (!out.present)
-                out.latency = std::max(out.latency, cost);
-            continue;
-        }
-        DMT_ASSERT(!out.present,
-                   "two TEAs hold a leaf PTE for va 0x%llx",
-                   static_cast<unsigned long long>(va));
-        out.present = true;
-        out.latency = caches.access(pteAddr);
-        out.pte = pte;
-        out.size = reg->tea.leafSize;
-        out.pteAddr = pteAddr;
-    }
-    return out;
-}
-
-namespace
-{
-
-/** Physical address of the byte va inside the page a leaf PTE maps. */
-Addr
-leafPa(std::uint64_t pte, PageSize size, Addr va)
-{
-    return (ptePfn(pte) << pageShift) +
-           (va & (pageBytesOf(size) - 1));
-}
-
-} // namespace
-
 DmtNativeFetcher::DmtNativeFetcher(const DmtRegisterFile &regs,
                                    const RadixPageTable &pt,
                                    const Memory &mem,
@@ -95,46 +16,6 @@ DmtNativeFetcher::DmtNativeFetcher(const DmtRegisterFile &regs,
     : regs_(regs), pt_(pt), mem_(mem), win_(mem.readWindow()),
       caches_(caches), fallback_(fallback)
 {
-}
-
-WalkRecord
-DmtNativeFetcher::walk(Addr va)
-{
-    ++fetcherStats_.requests;
-    const DirectProbe probe =
-        directProbe(regs_, mem_, caches_, va, nullptr, &win_);
-    if (!probe.matched || !probe.present) {
-        ++fetcherStats_.fallbacks;
-        WalkRecord rec = fallback_.walk(va);
-        rec.fellBack = true;
-        rec.path = TranslationPath::DmtFallback;
-        // Probes issued before falling back still took time.
-        rec.latency += probe.latency;
-        rec.parallelRefs += probe.probes;
-        rec.dmtProbes += static_cast<std::uint8_t>(probe.probes);
-        return rec;
-    }
-    ++fetcherStats_.direct;
-    WalkRecord rec;
-    rec.path = TranslationPath::DmtDirect;
-    rec.latency = probe.latency;
-    rec.seqRefs = 1;
-    rec.parallelRefs = probe.probes - 1;
-    rec.dmtProbes = static_cast<std::uint8_t>(probe.probes);
-    rec.size = probe.size;
-    rec.pa = leafPa(probe.pte, probe.size, va);
-    if (recordSteps_)
-        rec.steps.push_back({'d', 1, probe.latency, -1,
-                             probe.pteAddr});
-    return rec;
-}
-
-Addr
-DmtNativeFetcher::resolve(Addr va)
-{
-    const auto tr = pt_.translate(va);
-    DMT_ASSERT(tr.has_value(), "resolve: unmapped va");
-    return tr->pa;
 }
 
 void
@@ -184,7 +65,7 @@ DmtNativeFetcher::prefetchWalks(const Addr *vas, std::size_t n)
                 if (level > 1 && !pteIsHuge(pte))
                     continue;
                 caches_.hostPrefetch(
-                    leafPa(pte, size[i][k], vas[chunk + i]));
+                    dmtLeafPa(pte, size[i][k], vas[chunk + i]));
                 served = true;
                 break;
             }
@@ -230,7 +111,7 @@ DmtVirtFetcher::hostFetch(Addr gpa, WalkRecord &rec, Addr &hpa_out)
              static_cast<std::int8_t>(21 + (4 - hlevel)),
              probe.pteAddr});
     }
-    hpa_out = leafPa(probe.pte, probe.size, hva);
+    hpa_out = dmtLeafPa(probe.pte, probe.size, hva);
     return true;
 }
 
@@ -259,7 +140,7 @@ DmtVirtFetcher::walkTwoRef(Addr gva, WalkRecord &rec)
              static_cast<std::int8_t>(5 * (4 - glevel) + 5),
              probe.pteAddr});
     }
-    const Addr dataGpa = leafPa(probe.pte, probe.size, gva);
+    const Addr dataGpa = dmtLeafPa(probe.pte, probe.size, gva);
     rec.size = probe.size;
 
     // Reference 2: the host PTE of the data page.
@@ -303,7 +184,7 @@ DmtVirtFetcher::walkThreeRef(Addr gva, WalkRecord &rec)
         rec.dmtProbes += static_cast<std::uint8_t>(hprobe.probes);
         if (!hprobe.matched || !hprobe.present)
             return false;
-        const Addr gPteHpa = leafPa(hprobe.pte, hprobe.size, hva);
+        const Addr gPteHpa = dmtLeafPa(hprobe.pte, hprobe.size, hva);
         // Ref 2: the guest PTE itself.
         const Cycles c2 = caches_.access(gPteHpa);
         phase = std::max(phase, hprobe.latency + c2);
@@ -334,7 +215,7 @@ DmtVirtFetcher::walkThreeRef(Addr gva, WalkRecord &rec)
                       RadixPageTable::leafLevel(leafSize)),
              ref2Cost, -1, ref2Pa});
     }
-    const Addr dataGpa = leafPa(leafPte, leafSize, gva);
+    const Addr dataGpa = dmtLeafPa(leafPte, leafSize, gva);
     rec.size = leafSize;
 
     // Ref 3: host PTE for the data page.
@@ -415,7 +296,7 @@ DmtNestedFetcher::walk(Addr l2va)
         rec.parallelRefs += p2.probes - 1;
         if (recordSteps_)
             rec.steps.push_back({'g', 2, p2.latency, -1, p2.pteAddr});
-        const Addr dataL2pa = leafPa(p2.pte, p2.size, l2va);
+        const Addr dataL2pa = dmtLeafPa(p2.pte, p2.size, l2va);
         rec.size = p2.size;
 
         // Reference 2: L1 container leaf PTE, L0-resident via the
@@ -435,7 +316,7 @@ DmtNestedFetcher::walk(Addr l2va)
         rec.parallelRefs += p1.probes - 1;
         if (recordSteps_)
             rec.steps.push_back({'g', 1, p1.latency, -1, p1.pteAddr});
-        const Addr dataL1pa = leafPa(p1.pte, p1.size, l1va);
+        const Addr dataL1pa = dmtLeafPa(p1.pte, p1.size, l1va);
 
         // Reference 3: L0 container leaf PTE (local TEAs).
         const Addr hva = stack_.vm1().gpaToHva(dataL1pa);
@@ -449,7 +330,7 @@ DmtNestedFetcher::walk(Addr l2va)
         rec.parallelRefs += p0.probes - 1;
         if (recordSteps_)
             rec.steps.push_back({'h', 1, p0.latency, -1, p0.pteAddr});
-        rec.pa = leafPa(p0.pte, p0.size, hva);
+        rec.pa = dmtLeafPa(p0.pte, p0.size, hva);
         ok = true;
     } while (false);
 

@@ -17,6 +17,7 @@
 #ifndef DMT_CORE_DMT_FETCHER_HH
 #define DMT_CORE_DMT_FETCHER_HH
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -83,8 +84,24 @@ DirectProbe directProbe(const DmtRegisterFile &regs, const Memory &mem,
                         const GteaTable *gtable,
                         const Memory::ReadWindow *win = nullptr);
 
-/** Native DMT: one memory reference per translation (§3, Fig. 7). */
-class DmtNativeFetcher : public TranslationMechanism
+/** Physical address of the byte va inside the page a leaf PTE maps. */
+inline Addr
+dmtLeafPa(std::uint64_t pte, PageSize size, Addr va)
+{
+    return (ptePfn(pte) << pageShift) +
+           (va & (pageBytesOf(size) - 1));
+}
+
+/**
+ * Native DMT: one memory reference per translation (§3, Fig. 7).
+ *
+ * `final`, with walk()/resolve() (and the directProbe they ride on)
+ * defined inline in this header: the simulator's commit pass is
+ * instantiated per concrete mechanism, and sealing the class lets
+ * the single-reference fetch inline into that loop instead of
+ * costing a virtual call per TLB miss.
+ */
+class DmtNativeFetcher final : public TranslationMechanism
 {
   public:
     DmtNativeFetcher(const DmtRegisterFile &regs,
@@ -206,6 +223,112 @@ class DmtNestedFetcher : public TranslationMechanism
     const GteaTable &l1Gtable_;
     FetcherStats fetcherStats_;
 };
+
+inline DirectProbe
+directProbe(const DmtRegisterFile &regs, const Memory &mem,
+            MemoryHierarchy &caches, Addr va, const GteaTable *gtable,
+            const Memory::ReadWindow *win)
+{
+    DirectProbe out;
+    const DmtRegister *matches[3];
+    const int n = regs.matchAll(va, matches);
+    if (n == 0)
+        return out;
+    out.matched = true;
+    for (int s = 0; s < 3; ++s) {
+        const DmtRegister *reg = matches[s];
+        if (!reg)
+            continue;
+        Addr pteAddr;
+        if (reg->gteaId >= 0) {
+            DMT_ASSERT(gtable != nullptr,
+                       "pvDMT register without a gTEA table");
+            const std::uint64_t index =
+                (va - reg->tea.coverBase) >>
+                pageShiftOf(reg->tea.leafSize);
+            const auto resolved =
+                gtable->resolvePte(reg->gteaId, index);
+            if (!resolved) {
+                out.faulted = true;
+                continue;
+            }
+            pteAddr = *resolved;
+        } else {
+            pteAddr = reg->tea.pteAddr(va);
+        }
+        // All probes issue in parallel. The translation completes
+        // when the probe holding the (unique) present leaf returns;
+        // losing probes cost bandwidth but their lines are not kept.
+        ++out.probes;
+        const std::uint64_t pte =
+            win ? win->read(mem, pteAddr) : mem.read64(pteAddr);
+        bool winner = pteIsPresent(pte);
+        // A 2 MB/1 GB TEA slot can hold a non-leaf (table pointer)
+        // entry for regions mapped with smaller pages; only a leaf
+        // counts.
+        const int level =
+            RadixPageTable::leafLevel(reg->tea.leafSize);
+        if (winner && level > 1 && !pteIsHuge(pte))
+            winner = false;
+        if (!winner) {
+            const Cycles cost = caches.accessClean(pteAddr);
+            // If nothing ends up present the walk faults; charge the
+            // slowest probe in that case.
+            if (!out.present)
+                out.latency = std::max(out.latency, cost);
+            continue;
+        }
+        DMT_ASSERT(!out.present,
+                   "two TEAs hold a leaf PTE for va 0x%llx",
+                   static_cast<unsigned long long>(va));
+        out.present = true;
+        out.latency = caches.access(pteAddr);
+        out.pte = pte;
+        out.size = reg->tea.leafSize;
+        out.pteAddr = pteAddr;
+    }
+    return out;
+}
+
+inline WalkRecord
+DmtNativeFetcher::walk(Addr va)
+{
+    ++fetcherStats_.requests;
+    const DirectProbe probe =
+        directProbe(regs_, mem_, caches_, va, nullptr, &win_);
+    if (!probe.matched || !probe.present) {
+        ++fetcherStats_.fallbacks;
+        WalkRecord rec = fallback_.walk(va);
+        rec.fellBack = true;
+        rec.path = TranslationPath::DmtFallback;
+        // Probes issued before falling back still took time.
+        rec.latency += probe.latency;
+        rec.parallelRefs += probe.probes;
+        rec.dmtProbes += static_cast<std::uint8_t>(probe.probes);
+        return rec;
+    }
+    ++fetcherStats_.direct;
+    WalkRecord rec;
+    rec.path = TranslationPath::DmtDirect;
+    rec.latency = probe.latency;
+    rec.seqRefs = 1;
+    rec.parallelRefs = probe.probes - 1;
+    rec.dmtProbes = static_cast<std::uint8_t>(probe.probes);
+    rec.size = probe.size;
+    rec.pa = dmtLeafPa(probe.pte, probe.size, va);
+    if (recordSteps_)
+        rec.steps.push_back({'d', 1, probe.latency, -1,
+                             probe.pteAddr});
+    return rec;
+}
+
+inline Addr
+DmtNativeFetcher::resolve(Addr va)
+{
+    const auto tr = pt_.translate(va);
+    DMT_ASSERT(tr.has_value(), "resolve: unmapped va");
+    return tr->pa;
+}
 
 } // namespace dmt
 

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/simd.hh"
 #include "common/types.hh"
 
 namespace dmt
@@ -161,13 +162,9 @@ Cache::accessTpl(Addr addr)
         return true;
     }
     const std::size_t base = setIndex(addr) * assoc;
-    // Branch-light tag scan over the contiguous tag array; invalid
-    // ways hold the unmatchable sentinel, so no validity check.
-    int match = -1;
-    for (int w = 0; w < assoc; ++w) {
-        if (tags_[base + w] == tag)
-            match = w;
-    }
+    // Wide tag scan over the contiguous tag array; invalid ways hold
+    // the unmatchable sentinel, so no validity check.
+    const int match = simd::findLastEqU64(&tags_[base], assoc, tag);
     if (match >= 0) {
         lastUse_[base + match] = tick_;
         ++hits_;
@@ -212,11 +209,7 @@ Cache::accessFillTpl(Addr addr)
         return true;
     }
     const std::size_t base = setIndex(addr) * assoc;
-    int match = -1;
-    for (int w = 0; w < assoc; ++w) {
-        if (tags_[base + w] == tag)
-            match = w;
-    }
+    const int match = simd::findLastEqU64(&tags_[base], assoc, tag);
     if (match >= 0) {
         lastUse_[base + match] = tick_;
         ++hits_;
@@ -227,16 +220,12 @@ Cache::accessFillTpl(Addr addr)
     // The fill runs on the insert()'s own clock tick, so LRU stamps
     // evolve exactly as the split access+insert pair's would.
     ++tick_;
-    std::size_t victim = base;
-    std::uint64_t best = lastUse_[base];
-    for (int w = 1; w < assoc; ++w) {
-        // Branchless first-minimum: stamps are in random order, so a
-        // conditional-move beats an unpredictable compare branch.
-        const std::uint64_t lu = lastUse_[base + w];
-        const bool lower = lu < best;
-        best = lower ? lu : best;
-        victim = lower ? base + w : victim;
-    }
+    // First-minimum victim scan: stamps are in random order, so the
+    // lane-parallel (or conditional-move) sweep beats an
+    // unpredictable compare branch per way.
+    const std::size_t victim =
+        base + static_cast<std::size_t>(
+                   simd::minIndexU64(&lastUse_[base], assoc));
     tags_[victim] = tag;
     lastUse_[victim] = tick_;
     mru_ = victim;

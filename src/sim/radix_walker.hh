@@ -24,8 +24,15 @@ namespace dmt
 
 class InvariantAuditor;
 
-/** Native sequential radix page walker with a PWC. */
-class RadixWalker : public TranslationMechanism
+/**
+ * Native sequential radix page walker with a PWC.
+ *
+ * `final`, with walk()/resolve() defined inline below: the simulator
+ * instantiates its commit pass per concrete mechanism (see
+ * translation_sim.cc), and sealing the class lets those calls
+ * devirtualize and inline instead of going through `Mechanism*`.
+ */
+class RadixWalker final : public TranslationMechanism
 {
   public:
     /**
@@ -70,6 +77,64 @@ class RadixWalker : public TranslationMechanism
     InvariantAuditor *auditor_ = nullptr;
     int auditHookId_ = 0;
 };
+
+inline WalkRecord
+RadixWalker::walk(Addr va)
+{
+    WalkRecord rec;
+    rec.path = TranslationPath::Radix;
+    const auto path = pt_.walkPath(va);
+    DMT_ASSERT(!path.empty(), "walkPath returned nothing");
+    DMT_ASSERT(pteIsPresent(path.back().pte),
+               "page fault during simulated walk at va 0x%llx",
+               static_cast<unsigned long long>(va));
+
+    // Consult the PWC: it may let us start below the root.
+    const auto hit =
+        pwc_.lookup(va, pt_.levels(),
+                    static_cast<Pfn>(pt_.rootPa() >> pageShift));
+    rec.latency += pwc_.latency();
+    rec.pwcStartLevel = static_cast<std::int8_t>(hit.startLevel);
+    if (hit.hit)
+        ++rec.pwcHits;
+    else
+        ++rec.pwcMisses;
+
+    for (const auto &step : path) {
+        if (step.level > hit.startLevel)
+            continue;  // skipped thanks to the PWC
+        const Cycles cost = caches_.access(step.pteAddr);
+        rec.latency += cost;
+        ++rec.seqRefs;
+        if (recordSteps_)
+            rec.steps.push_back(
+                {'n', static_cast<std::int8_t>(step.level), cost, -1,
+                 step.pteAddr});
+        // Fill the PWC with the table pointer this PTE yields.
+        if (step.level > 1 && !pteIsHuge(step.pte))
+            pwc_.fill(va, step.level - 1, ptePfn(step.pte));
+    }
+
+    const auto &leaf = path.back();
+    PageSize size = PageSize::Size4K;
+    if (leaf.level == 2)
+        size = PageSize::Size2M;
+    else if (leaf.level == 3)
+        size = PageSize::Size1G;
+    rec.size = size;
+    const Addr offset = va & (pageBytesOf(size) - 1);
+    rec.pa = (ptePfn(leaf.pte) << pageShift) + offset;
+    return rec;
+}
+
+inline Addr
+RadixWalker::resolve(Addr va)
+{
+    const auto tr = pt_.translate(va);
+    DMT_ASSERT(tr.has_value(), "resolve: va 0x%llx unmapped",
+               static_cast<unsigned long long>(va));
+    return tr->pa;
+}
 
 } // namespace dmt
 

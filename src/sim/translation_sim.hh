@@ -200,17 +200,36 @@ class TranslationSimulator
     void setEventSink(obs::EventSink *sink) { sink_ = sink; }
 
   private:
+    /**
+     * Design-specialized dispatch: runRange() downcasts the
+     * mechanism to the concrete designs the hot loops are worth
+     * specializing for (the native radix walker and the native DMT
+     * fetcher — both `final`, with walk()/resolve() defined in their
+     * headers) and instantiates the loops per (design × trace-mode),
+     * so the commit pass inlines the walk and fetch bodies instead
+     * of calling through `TranslationMechanism*`. Every other design
+     * takes the generic instantiation, whose `Mech` is the abstract
+     * base — byte-for-byte the old virtual-dispatch loop.
+     */
+    template <class Mech>
+    void dispatchRange(Mech &mech, TraceSource &trace,
+                       const SimConfig &config, SimResult &result,
+                       SimStepCells &cells, std::uint64_t begin,
+                       std::uint64_t end);
+
     /** The scalar reference loop (batchSize <= 1). */
-    template <bool kTrace>
-    void scalarRange(TraceSource &trace, const SimConfig &config,
-                     SimResult &result, SimStepCells &cells,
-                     std::uint64_t begin, std::uint64_t end);
+    template <bool kTrace, class Mech>
+    void scalarRange(Mech &mech, TraceSource &trace,
+                     const SimConfig &config, SimResult &result,
+                     SimStepCells &cells, std::uint64_t begin,
+                     std::uint64_t end);
 
     /** The struct-of-arrays batched pipeline (batchSize > 1). */
-    template <bool kTrace>
-    void batchedRange(TraceSource &trace, const SimConfig &config,
-                      SimResult &result, SimStepCells &cells,
-                      std::uint64_t begin, std::uint64_t end);
+    template <bool kTrace, class Mech>
+    void batchedRange(Mech &mech, TraceSource &trace,
+                      const SimConfig &config, SimResult &result,
+                      SimStepCells &cells, std::uint64_t begin,
+                      std::uint64_t end);
 
     TranslationMechanism &mechanism_;
     TlbHierarchy &tlbs_;

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/log.hh"
+#include "common/simd.hh"
 #include "common/types.hh"
 
 namespace dmt
@@ -196,18 +197,15 @@ PageWalkCache::lookup(Addr va, int root_level, Pfn root_pfn)
 {
     ++tick_;
     // Deepest first: a cached L1-table pointer means only the leaf
-    // PTE remains to be fetched. Branch-light sweep per bank; the
+    // PTE remains to be fetched. Wide key match per bank; the
     // duplicate-tag invariant (audited) makes the last match the
     // only match.
     for (int t = 1; t <= 3; ++t) {
         Bank &bank = bankFor(t);
         const Addr tag = tagFor(va, t);
         const int entries = static_cast<int>(bank.tags.size());
-        int match = -1;
-        for (int i = 0; i < entries; ++i) {
-            if (bank.tags[i] == tag)
-                match = i;
-        }
+        const int match =
+            simd::findLastEqU64(bank.tags.data(), entries, tag);
         if (match >= 0) {
             bank.lastUse[match] = tick_;
             ++hits_;
@@ -227,27 +225,18 @@ PageWalkCache::fill(Addr va, int table_level, Pfn table_pfn)
     Bank &bank = bankFor(table_level);
     const Addr tag = tagFor(va, table_level);
     const int entries = static_cast<int>(bank.tags.size());
-    int match = -1;
-    for (int i = 0; i < entries; ++i) {
-        if (bank.tags[i] == tag)
-            match = i;
-    }
+    const int match =
+        simd::findLastEqU64(bank.tags.data(), entries, tag);
     if (match >= 0) {
         bank.pfn[match] = table_pfn;
         bank.lastUse[match] = tick_;
         return;
     }
-    std::size_t victim = 0;
-    std::uint64_t best = bank.lastUse[0];
-    for (int i = 1; i < entries; ++i) {
-        // Branchless first-minimum: picks the first invalid way
-        // (stamp 0) if any, else the true LRU way, ties to the
-        // lowest index — exactly the AoS scan's choice.
-        const std::uint64_t lu = bank.lastUse[i];
-        const bool lower = lu < best;
-        best = lower ? lu : best;
-        victim = lower ? static_cast<std::size_t>(i) : victim;
-    }
+    // First-minimum victim: picks the first invalid way (stamp 0) if
+    // any, else the true LRU way, ties to the lowest index — exactly
+    // the AoS scan's choice.
+    const std::size_t victim = static_cast<std::size_t>(
+        simd::minIndexU64(bank.lastUse.data(), entries));
     bank.tags[victim] = tag;
     bank.pfn[victim] = table_pfn;
     bank.lastUse[victim] = tick_;

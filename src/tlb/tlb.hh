@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "check/audit.hh"
+#include "common/simd.hh"
 #include "common/types.hh"
 
 namespace dmt
@@ -178,15 +179,10 @@ Tlb::findInTpl(std::size_t set, std::uint64_t key) const
 {
     const int assoc = kAssoc ? kAssoc : config_.associativity;
     const std::size_t base = set * assoc;
-    // Branch-light sweep: invalid ways hold the unmatchable sentinel,
-    // and duplicate (vpn, size) pairs are impossible (audited), so
-    // the last match is the only match.
-    int match = -1;
-    for (int w = 0; w < assoc; ++w) {
-        if (keys_[base + w] == key)
-            match = w;
-    }
-    return match;
+    // Wide sweep over the contiguous packed keys: invalid ways hold
+    // the unmatchable sentinel, and duplicate (vpn, size) pairs are
+    // impossible (audited), so the last match is the only match.
+    return simd::findLastEqU64(&keys_[base], assoc, key);
 }
 
 inline int
@@ -246,14 +242,9 @@ Tlb::insertTpl(Addr va, PageSize size)
     // First-minimum scan of the stamps: invalid ways sit at 0, below
     // every valid stamp, so this picks the first invalid way if one
     // exists and the true LRU way otherwise.
-    std::size_t victim = base;
-    std::uint64_t best = lastUse_[base];
-    for (int w = 1; w < assoc; ++w) {
-        const std::uint64_t lu = lastUse_[base + w];
-        const bool lower = lu < best;
-        best = lower ? lu : best;
-        victim = lower ? base + w : victim;
-    }
+    const std::size_t victim =
+        base + static_cast<std::size_t>(
+                   simd::minIndexU64(&lastUse_[base], assoc));
     if (keys_[victim] != kInvalidKey)
         --sizeCount_[keys_[victim] & 3];
     ++sizeCount_[sizeSlot(size)];

@@ -585,7 +585,16 @@ TEST(EventOverheadGuard, DisabledTracingStaysWithinBenchBaseline)
                     "Release builds";
 #else
     const std::string benchPath = DMT_BENCH_BASELINE;
-    constexpr double kTolerance = 0.98;  // within 2% of baseline
+    // The reference host's e2e rows drift up to ±40% between
+    // sessions *independently* of the core-bound calibration row
+    // (EXPERIMENTS.md "Noise floor": components and e2e have been
+    // measured moving in opposite directions minutes apart), so a
+    // tight bound against the checked-in snapshot is a coin flip.
+    // 0.5 keeps the guard meaningful for what it is meant to catch
+    // — per-event work leaking into the disabled-tracing path or an
+    // accidental O(n) in the commit loop, which show up as 2-10x —
+    // while staying out of the noise band.
+    constexpr double kTolerance = 0.5;
     constexpr int kAttempts = 5;
     constexpr std::uint64_t kAccesses = 200'000;
 

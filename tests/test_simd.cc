@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Differential suite for the wide-ops layer (src/common/simd.hh).
+ *
+ * Every wide kernel must be bit-for-bit equivalent to its scalar
+ * reference for every input — that is the whole contract that lets
+ * the TLB, cache, and PWC probe loops swap the scalar sweeps for
+ * vector compares without a determinism risk. The suite drives each
+ * kernel two ways:
+ *
+ *  - exhaustively over small shapes: every length covering all
+ *    associativities the simulator instantiates (TLB 4/8/12/16,
+ *    cache 4/8/11/12/16, PWC banks 2/4/32, plus odd/generic
+ *    lengths), every match position, duplicate matches (last wins),
+ *    sentinel keys (the ~0 invalid-way marker), and tie patterns for
+ *    the victim scan (first minimum wins);
+ *  - with seeded randomized sweeps whose value ranges are constricted
+ *    enough to make collisions and ties common rather than
+ *    astronomically rare.
+ *
+ * This file is built three times (tests/CMakeLists.txt): as
+ * dmt_simd_tests with the build's own backend, as
+ * dmt_simd_wide_tests with -DDMT_SIMD_WIDE (the widest backend the
+ * build flags allow — SSE2 on a plain x86-64 build), and on x86-64
+ * as dmt_simd_avx2_tests with -mavx2 on top, so every backend keeps
+ * differential coverage even though the default build selects the
+ * scalar fallback (where kernel == reference by construction,
+ * pinning the harness itself). The CI ASan leg compiles the same
+ * targets, so the vector loads also run under sanitizers. Labeled
+ * `perf` with the other differential suites: `ctest -L perf`.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "common/simd.hh"
+
+using namespace dmt;
+
+namespace
+{
+
+/** Every way/entry count a lookup structure instantiates, plus odd
+ *  lengths around the vector width to exercise head/tail splits. */
+const int kLengths[] = {0,  1,  2,  3,  4,  5,  7,  8,  9,
+                        11, 12, 13, 15, 16, 17, 24, 31, 32, 33};
+
+constexpr std::uint64_t kSentinel = ~std::uint64_t{0};
+
+} // namespace
+
+/**
+ * The dmt_simd_avx2_tests target compiles this file with -mavx2 so
+ * the 4-lane kernels keep differential coverage even where the
+ * default build selects a narrower backend. On a host whose CPU
+ * lacks the ISA the tests self-skip instead of dying on SIGILL.
+ */
+#if defined(DMT_SIMD_AVX2) && defined(__GNUC__)
+#define DMT_SIMD_REQUIRE_CPU()                                        \
+    if (!__builtin_cpu_supports("avx2"))                              \
+    GTEST_SKIP() << "host CPU lacks AVX2; wide kernels untestable"
+#else
+#define DMT_SIMD_REQUIRE_CPU() (void)0
+#endif
+
+TEST(SimdBackend, ReportsAConsistentName)
+{
+    DMT_SIMD_REQUIRE_CPU();
+    // kLanes and the backend name must agree — the JSON config block
+    // records the name, the kernels' head/tail split uses the width.
+    switch (simd::kBackend) {
+      case simd::Backend::Avx2:
+        EXPECT_STREQ(simd::backendName(), "avx2");
+        EXPECT_EQ(simd::kLanes, 4);
+        break;
+      case simd::Backend::Sse2:
+        EXPECT_STREQ(simd::backendName(), "sse2");
+        EXPECT_EQ(simd::kLanes, 2);
+        break;
+      case simd::Backend::Neon:
+        EXPECT_STREQ(simd::backendName(), "neon");
+        EXPECT_EQ(simd::kLanes, 2);
+        break;
+      case simd::Backend::Scalar:
+        EXPECT_STREQ(simd::backendName(), "scalar");
+        EXPECT_EQ(simd::kLanes, 1);
+        break;
+    }
+#if !defined(DMT_SIMD_WIDE)
+    EXPECT_EQ(simd::kBackend, simd::Backend::Scalar)
+        << "wide backends are opt-in (-DDMT_SIMD=on); the default "
+           "build must select the scalar fallback";
+#endif
+}
+
+// ---------------------------------------------------------------------
+// findLastEqU64 / anyEqU64
+// ---------------------------------------------------------------------
+
+TEST(SimdFindLastEq, ExhaustiveSingleMatchEveryPosition)
+{
+    DMT_SIMD_REQUIRE_CPU();
+    for (int n : kLengths) {
+        std::vector<std::uint64_t> keys(
+            static_cast<std::size_t>(n), 0x1111);
+        // No match anywhere.
+        EXPECT_EQ(simd::findLastEqU64(keys.data(), n, 0x2222),
+                  simd::findLastEqU64Ref(keys.data(), n, 0x2222));
+        EXPECT_EQ(simd::findLastEqU64(keys.data(), n, 0x2222), -1);
+        EXPECT_FALSE(simd::anyEqU64(keys.data(), n, 0x2222));
+        // A single match at every position.
+        for (int pos = 0; pos < n; ++pos) {
+            keys.assign(static_cast<std::size_t>(n), 0x1111);
+            keys[static_cast<std::size_t>(pos)] = 0x2222;
+            EXPECT_EQ(simd::findLastEqU64(keys.data(), n, 0x2222),
+                      pos)
+                << "n=" << n << " pos=" << pos;
+            EXPECT_TRUE(simd::anyEqU64(keys.data(), n, 0x2222));
+        }
+    }
+}
+
+TEST(SimdFindLastEq, DuplicateMatchesLastWins)
+{
+    DMT_SIMD_REQUIRE_CPU();
+    for (int n : kLengths) {
+        if (n < 2)
+            continue;
+        std::vector<std::uint64_t> keys;
+        for (int a = 0; a < n; ++a) {
+            for (int b = a + 1; b < n; ++b) {
+                keys.assign(static_cast<std::size_t>(n), 0);
+                keys[static_cast<std::size_t>(a)] = 7;
+                keys[static_cast<std::size_t>(b)] = 7;
+                EXPECT_EQ(simd::findLastEqU64(keys.data(), n, 7), b)
+                    << "n=" << n << " a=" << a << " b=" << b;
+            }
+        }
+        // All lanes match: last index wins.
+        keys.assign(static_cast<std::size_t>(n), 7);
+        EXPECT_EQ(simd::findLastEqU64(keys.data(), n, 7), n - 1);
+    }
+}
+
+TEST(SimdFindLastEq, SentinelAndHalfWordEdges)
+{
+    DMT_SIMD_REQUIRE_CPU();
+    // The invalid-way sentinel is ~0 — both 32-bit halves all-ones —
+    // and the SSE2 kernel compares 32-bit halves, so keys whose value
+    // collides with the probe in ONE half only are the adversarial
+    // case: they must not report a match.
+    const std::uint64_t key = 0x00000001'00000002ull;
+    const std::uint64_t lowHalfOnly = 0xdeadbeef'00000002ull;
+    const std::uint64_t highHalfOnly = 0x00000001'deadbeefull;
+    for (int n : kLengths) {
+        if (n == 0)
+            continue;
+        std::vector<std::uint64_t> keys(
+            static_cast<std::size_t>(n), lowHalfOnly);
+        for (std::size_t i = 1; i < keys.size(); i += 2)
+            keys[i] = highHalfOnly;
+        EXPECT_EQ(simd::findLastEqU64(keys.data(), n, key),
+                  simd::findLastEqU64Ref(keys.data(), n, key));
+        EXPECT_EQ(simd::findLastEqU64(keys.data(), n, key), -1);
+        EXPECT_FALSE(simd::anyEqU64(keys.data(), n, key));
+
+        // Probing for the sentinel itself is well-defined too (the
+        // structures never do, but the kernel contract is total).
+        keys.back() = kSentinel;
+        EXPECT_EQ(simd::findLastEqU64(keys.data(), n, kSentinel),
+                  simd::findLastEqU64Ref(keys.data(), n, kSentinel));
+        EXPECT_EQ(simd::findLastEqU64(keys.data(), n, kSentinel),
+                  n - 1);
+        EXPECT_TRUE(simd::anyEqU64(keys.data(), n, kSentinel));
+    }
+}
+
+TEST(SimdFindLastEq, RandomizedSweepAgainstReference)
+{
+    DMT_SIMD_REQUIRE_CPU();
+    Rng rng(20260808);
+    for (int iter = 0; iter < 20000; ++iter) {
+        const int n =
+            static_cast<int>(rng.below(34));  // 0..33 lanes
+        std::vector<std::uint64_t> keys(static_cast<std::size_t>(n));
+        // Draw from 8 distinct values so matches and duplicates are
+        // common; fold in the sentinel and near-sentinel values.
+        for (auto &k : keys) {
+            switch (rng.below(8)) {
+              case 0:
+                k = kSentinel;
+                break;
+              case 1:
+                k = kSentinel - 1;
+                break;
+              default:
+                k = rng.below(4);
+                break;
+            }
+        }
+        const std::uint64_t probe =
+            rng.below(2) ? rng.below(4) : kSentinel;
+        EXPECT_EQ(simd::findLastEqU64(keys.data(), n, probe),
+                  simd::findLastEqU64Ref(keys.data(), n, probe))
+            << "iter=" << iter;
+        EXPECT_EQ(simd::anyEqU64(keys.data(), n, probe),
+                  simd::anyEqU64Ref(keys.data(), n, probe))
+            << "iter=" << iter;
+    }
+}
+
+TEST(SimdFindLastEq, UnalignedBasePointers)
+{
+    DMT_SIMD_REQUIRE_CPU();
+    // The kernels use unaligned loads; probe from every offset of a
+    // shared buffer so no alignment assumption can creep in.
+    std::vector<std::uint64_t> buf(64, 5);
+    buf[40] = 9;
+    for (int off = 0; off < 32; ++off) {
+        for (int n : {1, 2, 3, 4, 8, 16, 32}) {
+            const std::uint64_t *p = buf.data() + off;
+            EXPECT_EQ(simd::findLastEqU64(p, n, 9),
+                      simd::findLastEqU64Ref(p, n, 9))
+                << "off=" << off << " n=" << n;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// minIndexU64 (victim selection)
+// ---------------------------------------------------------------------
+
+TEST(SimdMinIndex, ExhaustiveMinimumEveryPosition)
+{
+    DMT_SIMD_REQUIRE_CPU();
+    for (int n : kLengths) {
+        if (n == 0)
+            continue;  // contract requires n >= 1
+        std::vector<std::uint64_t> stamps;
+        for (int pos = 0; pos < n; ++pos) {
+            stamps.assign(static_cast<std::size_t>(n), 100);
+            stamps[static_cast<std::size_t>(pos)] = 3;
+            EXPECT_EQ(simd::minIndexU64(stamps.data(), n), pos)
+                << "n=" << n << " pos=" << pos;
+        }
+    }
+}
+
+TEST(SimdMinIndex, TiesPickTheLowestIndex)
+{
+    DMT_SIMD_REQUIRE_CPU();
+    for (int n : kLengths) {
+        if (n < 2)
+            continue;
+        std::vector<std::uint64_t> stamps;
+        // Two tied minima at every (a, b): the first must win, as in
+        // the strict-< victim scans the kernel replaces.
+        for (int a = 0; a < n; ++a) {
+            for (int b = a + 1; b < n; ++b) {
+                stamps.assign(static_cast<std::size_t>(n), 50);
+                stamps[static_cast<std::size_t>(a)] = 2;
+                stamps[static_cast<std::size_t>(b)] = 2;
+                EXPECT_EQ(simd::minIndexU64(stamps.data(), n), a)
+                    << "n=" << n << " a=" << a << " b=" << b;
+            }
+        }
+        // All equal: index 0.
+        stamps.assign(static_cast<std::size_t>(n), 7);
+        EXPECT_EQ(simd::minIndexU64(stamps.data(), n), 0);
+    }
+}
+
+TEST(SimdMinIndex, InvalidWayStampsAndExtremeValues)
+{
+    DMT_SIMD_REQUIRE_CPU();
+    // Invalid ways keep stamp 0 (below every valid stamp, which the
+    // pre-incrementing clocks keep >= 1) — the first zero must win.
+    for (int n : kLengths) {
+        if (n < 3)
+            continue;
+        std::vector<std::uint64_t> stamps(
+            static_cast<std::size_t>(n), 1000);
+        stamps[static_cast<std::size_t>(n / 2)] = 0;
+        stamps[static_cast<std::size_t>(n - 1)] = 0;
+        EXPECT_EQ(simd::minIndexU64(stamps.data(), n), n / 2);
+    }
+    // Values straddling the signed/unsigned boundary: the AVX2 path
+    // compares sign-flipped values with a signed compare, so stamps
+    // around 2^63 are the adversarial case.
+    std::vector<std::uint64_t> stamps = {
+        0x8000000000000000ull, 0x7fffffffffffffffull,
+        0xffffffffffffffffull, 0x8000000000000001ull,
+        0x0000000000000001ull, 0xfffffffffffffffeull,
+        0x7ffffffffffffffeull, 0x8000000000000000ull,
+    };
+    const int n = static_cast<int>(stamps.size());
+    EXPECT_EQ(simd::minIndexU64(stamps.data(), n),
+              simd::minIndexU64Ref(stamps.data(), n));
+    EXPECT_EQ(simd::minIndexU64(stamps.data(), n), 4);
+}
+
+TEST(SimdMinIndex, RandomizedSweepAgainstReference)
+{
+    DMT_SIMD_REQUIRE_CPU();
+    Rng rng(424242);
+    for (int iter = 0; iter < 20000; ++iter) {
+        const int n =
+            1 + static_cast<int>(rng.below(33));  // 1..33 lanes
+        std::vector<std::uint64_t> stamps(
+            static_cast<std::size_t>(n));
+        const bool tieProne = rng.below(2) != 0;
+        for (auto &s : stamps) {
+            if (tieProne) {
+                // Small range: ties on nearly every draw.
+                s = rng.below(4);
+            } else {
+                // Full-range values, with the sign bit exercised.
+                s = rng.next();
+            }
+        }
+        EXPECT_EQ(simd::minIndexU64(stamps.data(), n),
+                  simd::minIndexU64Ref(stamps.data(), n))
+            << "iter=" << iter << " n=" << n;
+    }
+}

@@ -1,0 +1,15 @@
+// Fixture: the wide-ops header itself is exempt by design — vendor
+// intrinsics in src/common/simd.hh must NOT fire raw-simd.
+#ifndef DMT_COMMON_SIMD_HH
+#define DMT_COMMON_SIMD_HH
+
+#include <emmintrin.h>
+
+inline int
+lanes()
+{
+    __m128i z = _mm_setzero_si128();
+    return _mm_cvtsi128_si32(z);
+}
+
+#endif // DMT_COMMON_SIMD_HH

@@ -7,6 +7,11 @@ Style rules (ported from the original tools/lint.py):
   include-guard    canonical DMT_<PATH>_<EXT> guards in src/ headers
   raw-logging      no printf/iostream output in src/ outside
                    common/log
+  raw-simd         no vendor SIMD intrinsics (_mm_*, _mm256_*,
+                   vld1q_*, <immintrin.h>, ...) outside
+                   src/common/simd.hh; call sites express intent
+                   through the wide-ops kernels so the backend choice
+                   (and its scalar fallback) stays in one file
 
 Determinism and correctness rules (this file's reason to exist —
 BENCH_campaign.json and .dmtevents streams must be byte-identical
@@ -140,6 +145,33 @@ class RawLogging(Rule):
             if self.PATTERN.search(line):
                 yield lineno, ("use common/log.hh "
                                "(inform/warn/fatal/panic)")
+
+
+@register
+class RawSimd(Rule):
+    name = "raw-simd"
+    contract = ("vendor SIMD intrinsics live in src/common/simd.hh "
+                "and nowhere else; call sites use the wide-ops "
+                "kernels so every probe loop keeps a scalar fallback "
+                "and one file owns the backend choice")
+    allowed_files = frozenset({"src/common/simd.hh"})
+    PATTERN = re.compile(
+        # x86 intrinsic headers and the SSE/AVX intrinsic and vector
+        # type namespaces; ARM's NEON header and the core load/store/
+        # compare/permute intrinsic families used for 64-bit lanes.
+        r"(?:#\s*include\s*<(?:[ewxstnp]mmintrin|immintrin|avx\w*intrin|"
+        r"arm_neon)\.h>"
+        r"|\b_mm\d*_\w+\s*\("
+        r"|\b__m\d+[dhi]?\b"
+        r"|\b(?:vld\d|vst\d|vceq|vdup|vmov|vget|vset|vorr|vand|veor|"
+        r"vext|vmin|vmax|vbsl|vtbl)q?_\w+)")
+
+    def check_file(self, f):
+        for lineno, line in enumerate(f.lines, 1):
+            if self.PATTERN.search(line):
+                yield lineno, ("vendor SIMD intrinsic outside "
+                               "src/common/simd.hh; add or use a "
+                               "wide-ops kernel instead")
 
 
 # ---------------------------------------------------------------- #
